@@ -1,0 +1,44 @@
+"""Ablation: SRF arbitration policy (paper §5.4).
+
+"Arbitration among streams for SRF access was performed using a simple
+round-robin scheme. Complex arbiters that prioritize streams likely to
+cause stalls were found to provide less than 10% improvement in
+throughput." This bench reruns the Figure 17 microbenchmark with a
+stall-aware arbiter (serve the fullest address FIFOs first) and checks
+that its advantage over round-robin is real but under 10% — the design
+justification for shipping the simple arbiter.
+"""
+
+from repro.apps.microbench import inlane_random_read_throughput
+from repro.harness import render_table
+
+
+def run_ablation(cycles: int = 1500) -> dict:
+    rows = []
+    data = {}
+    for subarrays in (2, 4, 8):
+        rr = inlane_random_read_throughput(
+            subarrays=subarrays, cycles=cycles, arbitration="round_robin"
+        ).words_per_cycle_per_lane
+        occ = inlane_random_read_throughput(
+            subarrays=subarrays, cycles=cycles, arbitration="occupancy"
+        ).words_per_cycle_per_lane
+        gain = occ / rr - 1.0
+        data[subarrays] = (rr, occ, gain)
+        rows.append([subarrays, rr, occ, f"{gain * 100:+.1f}%"])
+    text = render_table(
+        "Ablation: round-robin vs stall-aware SRF arbitration "
+        "(in-lane words/cycle/lane; paper: complex arbiters < +10%)",
+        ["sub-arrays", "round-robin", "occupancy", "gain"], rows,
+    )
+    return {"data": data, "text": text}
+
+
+def test_complex_arbiter_gains_less_than_10_percent(run_once):
+    result = run_once(run_ablation)
+    for subarrays, (rr, occ, gain) in result["data"].items():
+        assert gain < 0.10, f"s={subarrays}: {gain:.3f}"
+    # ...but the stall-aware arbiter is not *worse* where conflicts
+    # exist (sub-banked configurations).
+    assert result["data"][4][2] > -0.02
+    assert result["data"][8][2] > -0.02

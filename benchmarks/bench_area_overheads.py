@@ -1,0 +1,24 @@
+"""Section 4.6: area overheads of the indexed SRF organisations.
+
+Paper numbers: ISRF1 +11%, ISRF4 +18%, cross-lane +22% over a
+sequential-only SRF of equal capacity; 1.5%-3% of total die area (from
+the Imagine statistics of [13]); versus 100%-150% of SRF area for the
+Cache configuration.
+"""
+
+from repro.harness import area_overheads
+
+
+def test_area_overheads(run_once):
+    result = run_once(area_overheads)
+    overheads = result["overheads"]
+    assert 0.09 <= overheads["ISRF1"] <= 0.13            # paper: 11%
+    assert 0.15 <= overheads["ISRF4"] <= 0.21            # paper: 18%
+    assert 0.19 <= overheads["ISRF4+crosslane"] <= 0.26  # paper: 22%
+    assert (overheads["ISRF1"] < overheads["ISRF4"]
+            < overheads["ISRF4+crosslane"])
+
+    # Die-level: 1.5%-3% (table rows: [variant, srf%, die%]).
+    die_rows = {row[0]: row[2] for row in result["rows"]}
+    assert die_rows["ISRF1"].startswith("1.")
+    assert die_rows["ISRF4+crosslane"].startswith("3.")

@@ -1,0 +1,30 @@
+"""Section 4.4: access-energy comparison.
+
+Paper numbers: an indexed single-word SRF access costs ~4x the
+per-word energy of a sequential block access (extra column muxing),
+about 0.1 nJ at 0.13 um — still an order of magnitude below the ~5 nJ
+of an off-chip DRAM access. Moving Rijndael's 160 lookups per block
+from DRAM into the SRF is therefore also a large energy win.
+"""
+
+import pytest
+
+from repro.area.energy import EnergyModel
+from repro.harness import energy_table
+
+
+def test_energy_model(run_once):
+    result = run_once(energy_table)
+    model = EnergyModel()
+    assert model.indexed_word_nj == pytest.approx(0.1, rel=0.3)
+    assert model.indexed_word_nj == pytest.approx(
+        4.0 * model.sequential_word_nj
+    )
+    assert model.dram_word_nj == pytest.approx(5.0)
+    assert model.indexed_vs_dram_ratio >= 10  # "order of magnitude"
+
+    # The Rijndael energy argument: 160 lookups/block via indexed SRF
+    # vs via DRAM.
+    per_block_srf = 160 * model.indexed_word_nj
+    per_block_dram = 160 * model.dram_word_nj
+    assert per_block_dram / per_block_srf >= 10

@@ -1,0 +1,31 @@
+"""Figure 11: off-chip memory traffic of ISRF and Cache, normalised to
+Base, for all eight benchmarks.
+
+Paper shape: large reductions for FFT 2D (the rotation disappears) and
+Rijndael (up to 95%, the table lookups leave memory); moderate
+reductions for the IG datasets (replication eliminated; the Cache also
+captures inter-strip reuse and beats ISRF there); no reduction for Sort
+and Filter (all locality already captured by Base).
+"""
+
+from repro.harness import figure11
+
+
+def test_figure11_memory_traffic(run_once):
+    result = run_once(figure11)
+    data = result["data"]
+    # FFT 2D: the rotation through memory disappears (2x traffic -> 1x).
+    assert 0.4 <= data[("FFT 2D", "ISRF")] <= 0.6
+    # Rijndael: up to 95% reduction.
+    assert data[("Rijndael", "ISRF")] < 0.10
+    # Sort captures no additional locality.
+    assert data[("Sort", "ISRF")] == 1.0
+    assert data[("Sort", "Cache")] == 1.0
+    # IG: ISRF removes replication; Cache additionally captures
+    # inter-strip reuse and does even better (paper §5.3).
+    for dataset in ("IG_SML", "IG_DMS", "IG_DCS", "IG_SCL"):
+        assert data[(dataset, "ISRF")] < 0.8
+        assert data[(dataset, "Cache")] < data[(dataset, "ISRF")]
+    # Filter gains nothing (modulo the banded layout's halo replication).
+    assert data[("Filter", "Cache")] == 1.0
+    assert data[("Filter", "ISRF")] >= 1.0

@@ -1,0 +1,55 @@
+"""Figure 12: execution-time breakdown of every benchmark on every
+machine configuration, normalised to Base.
+
+Paper shape: ISRF4 is fastest everywhere; FFT 2D and Rijndael speed up
+by eliminating memory-boundedness; Sort and Filter by shorter kernel
+loops; the IG datasets by traffic + longer strips; IG_SCL barely moves
+(compute-limited with long strips). ISRF1 trails ISRF4 only on the
+multi-indexed-stream benchmarks (Rijndael, Filter). The Cache machine
+helps the memory-bound benchmarks but never beats ISRF4.
+"""
+
+from repro.harness import figure12
+
+
+def test_figure12_execution_breakdown(run_once):
+    result = run_once(figure12)
+    data = result["data"]
+
+    def total(bench, config):
+        return data[(bench, config)]["total"]
+
+    # ISRF4 wins on every benchmark (speedups 1.03x-4.1x in the paper).
+    # On the IG datasets the Cache also captures inter-strip reuse and
+    # comes within noise of ISRF4 at reduced workload scales, so the
+    # ISRF4-vs-Cache comparison there carries a small tolerance.
+    for bench in ("FFT 2D", "Rijndael", "Sort", "Filter",
+                  "IG_SML", "IG_DMS", "IG_DCS", "IG_SCL"):
+        assert total(bench, "ISRF4") < 1.0, bench
+        tolerance = 1.06 if bench.startswith("IG_") else 1.0
+        assert (total(bench, "ISRF4")
+                <= total(bench, "Cache") * tolerance + 1e-9), bench
+
+    # Rijndael is the headline: large speedup, memory-bound Base.
+    assert total("Rijndael", "ISRF4") < 0.5
+    assert data[("Rijndael", "Base")]["mem_stall"] > 0.5
+
+    # ISRF1 == ISRF4 except for the multi-indexed-stream benchmarks.
+    for bench in ("Sort", "IG_SML", "IG_DMS", "IG_DCS", "IG_SCL"):
+        assert total(bench, "ISRF1") == total(bench, "ISRF4"), bench
+    for bench in ("Rijndael", "Filter"):
+        assert total(bench, "ISRF1") > total(bench, "ISRF4"), bench
+
+    # Sort/Filter gains come from the kernel loop, not memory.
+    assert (data[("Sort", "ISRF4")]["loop"]
+            < data[("Sort", "Base")]["loop"])
+    assert (data[("Filter", "ISRF4")]["loop"]
+            < data[("Filter", "Base")]["loop"])
+
+    # IG_SCL (compute-limited, long strips) benefits the least of the
+    # IG datasets.
+    ig_speedups = {
+        bench: 1.0 / total(bench, "ISRF4")
+        for bench in ("IG_SML", "IG_DMS", "IG_DCS", "IG_SCL")
+    }
+    assert ig_speedups["IG_SCL"] == min(ig_speedups.values())

@@ -1,0 +1,34 @@
+"""Figure 13: sustained SRF bandwidth demands of the benchmark kernels
+on ISRF4, split into sequential, in-lane indexed, and cross-lane indexed
+words per cycle per cluster.
+
+Paper shape: Filter and Rijndael have the highest in-lane indexed
+demand (they are the multi-indexed-stream kernels); the IG kernels are
+the only cross-lane consumers; sustained bandwidths are well below the
+peaks, but bursty (the stream buffers absorb the bursts).
+"""
+
+from repro.harness import figure13
+
+
+def test_figure13_srf_bandwidth(run_once):
+    result = run_once(figure13)
+    data = result["data"]
+
+    # Only the IG kernels use cross-lane access (paper §5.2).
+    for kernel in ("IG_SML", "IG_SCL", "IG_DMS", "IG_DCS"):
+        assert data[kernel]["crosslane"] > 0
+        assert data[kernel]["inlane"] == 0
+    for kernel in ("FFT 2D", "Rijndael", "Sort1", "Sort2", "Filter"):
+        assert data[kernel]["crosslane"] == 0
+        assert data[kernel]["inlane"] > 0
+
+    # Filter and Rijndael demand the most in-lane indexed bandwidth.
+    heavy = {data["Filter"]["inlane"], data["Rijndael"]["inlane"]}
+    others = {data[k]["inlane"] for k in ("Sort1", "Sort2")}
+    assert min(heavy) > max(others)
+
+    # Sustained demands stay below the ISRF4 peak of 4 words/cycle/lane.
+    for kernel, bw in data.items():
+        assert bw["inlane"] <= 4.0
+        assert bw["crosslane"] <= 1.0

@@ -1,0 +1,39 @@
+"""Figure 14: static schedule (loop) length of the benchmark kernels'
+inner loops as the address-data separation grows.
+
+Paper shape: "Rijndael, Sort1, and Sort2 kernels have loop-carried
+dependencies that affect index computation, which causes schedule
+length to increase rapidly with address and data separation. FFT 2D,
+Filter, and the IGraph kernels, in contrast, are able to use software
+pipelining to tolerate very long separations with no increase in static
+schedule length" (modulo minor scheduler fluctuations, which the paper
+also reports).
+"""
+
+from repro.harness import figure14
+
+
+def test_figure14_schedule_length(run_once):
+    result = run_once(figure14)
+    data = result["data"]
+
+    # Loop-carried index computation: length grows rapidly.
+    for kernel in ("Rijndael", "Sort1", "Sort2"):
+        series = data[kernel]
+        assert series[10] > 1.4 * series[2], kernel
+        # Monotone non-decreasing growth.
+        seps = sorted(series)
+        assert all(series[a] <= series[b] + 1e-9
+                   for a, b in zip(seps, seps[1:])), kernel
+
+    # Software-pipelinable kernels stay flat (within scheduler noise).
+    for kernel in ("Filter", "IGraph1", "IGraph2"):
+        series = data[kernel]
+        assert max(series.values()) <= 1.1, kernel
+    # FFT 2D: flat within the paper's "minor fluctuations".
+    fft = data["FFT2D"]
+    assert max(fft.values()) <= 1.3
+
+    # IGraph kernels tolerate cross-lane separations out to 24 cycles.
+    assert 24 in data["IGraph1"]
+    assert data["IGraph1"][24] <= 1.1

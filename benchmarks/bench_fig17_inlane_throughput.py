@@ -1,0 +1,30 @@
+"""Figure 17: sustained in-lane indexed throughput vs the number of SRF
+sub-arrays per bank and the address-FIFO size, under 4 random reads per
+cycle per cluster.
+
+Paper shape: "Throughput increases with FIFO size as more addresses are
+issued before stalling on conflicts, and with the number of banks as
+the probability of conflicts declines. However, utilization of
+available bandwidth decreases as the number of sub-arrays increases due
+to head-of-line blocking."
+"""
+
+from repro.harness import figure17
+
+
+def test_figure17_inlane_throughput(run_once):
+    result = run_once(figure17)
+    data = result["data"]
+
+    # Throughput grows with sub-arrays at a fixed (deep) FIFO.
+    series = [data[(s, 8)] for s in (1, 2, 4, 8)]
+    assert series[0] < series[1] < series[2] < series[3]
+    assert series[0] <= 1.001  # one sub-array: one word/cycle/lane cap
+
+    # ... but utilisation of the peak declines (head-of-line blocking).
+    assert data[(2, 8)] / 2 > data[(4, 8)] / 4 > data[(8, 8)] / 8
+
+    # Throughput grows with FIFO size and saturates by ~6-8 entries.
+    for s in (2, 4, 8):
+        assert data[(s, 1)] < data[(s, 4)] <= data[(s, 8)] * 1.02
+        assert data[(s, 8)] - data[(s, 6)] < 0.15

@@ -1,0 +1,31 @@
+"""Figure 18: sustained cross-lane indexed throughput vs the number of
+network ports per SRF bank and the fraction of cycles carrying
+unrelated inter-cluster communication.
+
+Paper shape: "Increasing the number of network ports per SRF bank from
+1 to 2 provides a significant improvement in throughput, while
+increasing this number beyond 2 provides only marginal improvements";
+and "the reduction in cross-lane SRF throughput is 20% or less for a
+wide range of inter-cluster communication traffic loads" — SRF-port
+contention, not comm traffic, dominates.
+"""
+
+from repro.harness import figure18
+
+
+def test_figure18_crosslane_throughput(run_once):
+    result = run_once(figure18)
+    data = result["data"]
+
+    # 1 -> 2 ports: significant; 2 -> 4: marginal.
+    assert data[(2, 0.0)] > 1.15 * data[(1, 0.0)]
+    assert data[(4, 0.0)] < 1.10 * data[(2, 0.0)]
+
+    # Comm traffic degrades throughput mildly over a wide range.
+    for ports in (1, 2, 4):
+        quiet = data[(ports, 0.0)]
+        for occupancy in (0.2, 0.4, 0.6):
+            assert data[(ports, occupancy)] > 0.75 * quiet, (
+                ports, occupancy)
+        # Even at 80% occupancy the loss stays bounded.
+        assert data[(ports, 0.8)] > 0.55 * quiet

@@ -1,0 +1,27 @@
+"""The abstract's headline claims.
+
+"Our simulations show that indexed SRF access provides speedups of
+1.03x to 4.1x and memory bandwidth reductions of up to 95% over
+sequential SRF access for a set of benchmarks representative of
+data-parallel applications with irregular accesses."
+"""
+
+from repro.harness import headline
+
+
+def test_headline_claims(run_once):
+    result = run_once(headline)
+    claims = {c.benchmark: c for c in result["claims"]}
+
+    # Every benchmark speeds up; none slows down.
+    for claim in claims.values():
+        assert claim.speedup >= 1.0, claim.benchmark
+
+    # The span of speedups covers a wide range, topped by Rijndael.
+    speedups = [c.speedup for c in claims.values()]
+    assert max(speedups) == claims["Rijndael"].speedup
+    assert max(speedups) > 2.5  # paper: 4.1x
+    assert min(speedups) < 1.3  # paper: 1.03x (IG_SCL-like)
+
+    # Peak traffic reduction: >= 90% (paper: up to 95%).
+    assert min(c.traffic_ratio for c in claims.values()) < 0.10

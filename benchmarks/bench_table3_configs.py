@@ -1,0 +1,20 @@
+"""Tables 2 and 3: the four machine configurations and their parameters."""
+
+from repro.config import all_configs
+from repro.harness import table3
+
+
+def test_table3_machine_parameters(run_once):
+    result = run_once(table3)
+    configs = all_configs()
+    assert list(configs) == ["Base", "ISRF1", "ISRF4", "Cache"]
+    for cfg in configs.values():
+        assert cfg.lanes == 8
+        assert cfg.peak_flops_per_cycle == 32          # 32 GFLOPs @ 1 GHz
+        assert cfg.srf_bytes == 128 * 1024             # 128 KB SRF
+        assert cfg.peak_sequential_srf_words_per_cycle == 32
+        assert abs(cfg.dram_words_per_cycle * 4 - 9.14) < 1e-9  # GB/s
+    assert configs["ISRF1"].inlane_indexed_bandwidth == 1
+    assert configs["ISRF4"].inlane_indexed_bandwidth == 4
+    assert configs["Cache"].cache_bytes == 128 * 1024
+    assert configs["Cache"].cache_words_per_cycle == 4.0  # 16 GB/s

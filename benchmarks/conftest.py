@@ -1,0 +1,19 @@
+"""Shared helpers for the per-figure benchmark modules."""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing and
+    print its rendered table (visible with ``-s``; captured otherwise)."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        if isinstance(result, dict) and "text" in result:
+            print()
+            print(result["text"])
+        return result
+
+    return _run

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Scenario: neighbour interactions on an irregular mesh (IG, Table 4).
+
+A scientific-computing sweep over the paper's four IG dataset
+configurations: sparse/dense graphs, memory-/compute-limited kernels,
+short/long strips. Shows the two mechanisms behind the indexed SRF's
+advantage on irregular data (Figure 5):
+
+* replication elimination — Base gathers one replicated neighbour
+  record per edge; ISRF loads each referenced node once and reads it
+  via cross-lane indexed accesses;
+* strip doubling — the saved space doubles the strip length, amortising
+  kernel startup, pipeline fill/drain and inter-lane load imbalance.
+
+Run:  python examples/irregular_mesh.py
+"""
+
+from repro.apps import igraph
+from repro.config import base_config, isrf4_config
+
+
+def main():
+    nodes = 768
+    print(f"Irregular graph, {nodes} nodes, Table 4 dataset sweep\n")
+    header = (f"{'dataset':8s} {'flops':>5s} {'deg':>4s} "
+              f"{'strip B/I':>10s} {'cyc/edge B':>11s} {'cyc/edge I':>11s} "
+              f"{'speedup':>8s} {'traffic':>8s}")
+    print(header)
+    print("-" * len(header))
+    for name, dataset in igraph.TABLE4.items():
+        base = igraph.run(base_config(), dataset=name, nodes=nodes,
+                          strips_to_run=3).require_verified()
+        isrf = igraph.run(isrf4_config(), dataset=name, nodes=nodes,
+                          strips_to_run=3).require_verified()
+        base_edges = base.details["edges_processed"]
+        isrf_edges = isrf.details["edges_processed"]
+        cpe_base = base.cycles / base_edges
+        cpe_isrf = isrf.cycles / isrf_edges
+        traffic = (isrf.offchip_words / isrf_edges) / (
+            base.offchip_words / base_edges)
+        print(f"{name:8s} {dataset.flops_per_neighbor:5d} "
+              f"{dataset.avg_degree:4d} "
+              f"{dataset.base_strip_edges:4d}/{dataset.isrf_strip_edges:<4d} "
+              f"{cpe_base:11.2f} {cpe_isrf:11.2f} "
+              f"{cpe_base / cpe_isrf:7.2f}x {traffic:8.2f}")
+    print("\nAll node updates verified against the Python reference "
+          "sweep. (Paper: IG speedups range from ~1.03x for the "
+          "compute-limited long-strip dataset to >1.5x for the "
+          "memory-limited ones.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Scenario: compile the paper's Figure 10 KernelC source, verbatim.
+
+The paper's programmer interface (§4.7) is the KernelC language with
+indexed stream types. This example feeds the figure's source text —
+comments and all — through the bundled KernelC front-end, schedules it
+with the modulo scheduler, and runs it on the cycle-accurate ISRF4
+machine.
+
+Run:  python examples/kernelc_source.py
+"""
+
+from repro.config import isrf4_config
+from repro.core import SrfArray
+from repro.kernel import ModuloScheduler, compile_kernelc
+from repro.machine import KernelInvocation, StreamProcessor, StreamProgram
+from repro.memory import load_op, store_op
+
+FIGURE_10 = """
+kernel lookup(
+    istream<int> in,       // sequential in stream
+    idxl_istream<int> LUT, // indexed in stream
+    ostream<int> out) {    // seq. out stream
+    int a, b, c;
+    while (!eos(in)) {
+        in >> a;           // sequential stream access
+        LUT[a] >> b;       // indexed stream access
+        c = foo(a, b);
+        out << c;
+    }
+}
+"""
+
+
+def foo(a, b):
+    return (a * 7 + b) & 0xFFFF
+
+
+def main():
+    kernel, streams = compile_kernelc(FIGURE_10, intrinsics={"foo": foo})
+    print("compiled kernel:", kernel.name)
+    print("streams:", ", ".join(
+        f"{name} ({stream.kind.value})" for name, stream in streams.items()
+    ))
+    schedule = ModuloScheduler().schedule(kernel)
+    print(f"modulo schedule: II={schedule.ii}, depth={schedule.depth}, "
+          f"stages={schedule.stages}\n")
+
+    config = isrf4_config()
+    proc = StreamProcessor(config)
+    lanes = config.lanes
+    n = 128
+    table = [v * v for v in range(64)]
+    inputs = [(13 * i) % 64 for i in range(n)]
+
+    in_arr = SrfArray(proc.srf, n, "in")
+    out_arr = SrfArray(proc.srf, n, "out")
+    lut_arr = SrfArray(proc.srf, len(table) * lanes, "LUT")
+    lut_arr.fill_replicated(table)
+    src = proc.memory.allocate(n, "src")
+    dst = proc.memory.allocate(n, "dst")
+    proc.memory.load_region(src, inputs)
+
+    prog = StreamProgram("fig10")
+    t_load = prog.add_memory(load_op(in_arr.seq_read(), src))
+    t_k = prog.add_kernel(KernelInvocation(kernel, {
+        "in": in_arr.seq_read(),
+        "LUT": lut_arr.inlane_read(len(table)),
+        "out": out_arr.seq_write(),
+    }, iterations=n // lanes), deps=[t_load])
+    prog.add_memory(store_op(out_arr.seq_write(name="st"), dst),
+                    deps=[t_k])
+    stats = proc.run_program(prog)
+
+    results = proc.memory.dump_region(dst)
+    expected = [foo(v, table[v]) for v in inputs]
+    assert results == expected, "functional mismatch!"
+    print(f"ran {n} lookups in {stats.total_cycles} cycles on "
+          f"{config.name}; all results verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Figure 10 lookup kernel, end to end.
+
+Builds the KernelC example from Section 4.7 —
+
+    kernel lookup(istream<int> in, idxl_istream<int> LUT,
+                  ostream<int> out) {
+        int a, b, c;
+        while (!eos(in)) {
+            in >> a;          // sequential stream access
+            LUT[a] >> b;      // indexed SRF access
+            c = foo(a, b);
+            out << c;
+        }
+    }
+
+— then runs it on a cycle-accurate ISRF4 machine: the lookup table is
+replicated into every lane's SRF bank, the input stream is loaded from
+(simulated) DRAM, the kernel performs its lookups with in-lane indexed
+SRF reads, and the results are stored back to memory.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import isrf4_config
+from repro.core import SrfArray
+from repro.kernel import KernelBuilder
+from repro.machine import KernelInvocation, StreamProcessor, StreamProgram
+from repro.memory import load_op, store_op
+
+
+def foo(a, b):
+    return a + 2 * b
+
+
+def main():
+    config = isrf4_config()
+    proc = StreamProcessor(config)
+    lanes = config.lanes
+
+    # --- the kernel (Figure 10) --------------------------------------
+    b = KernelBuilder("lookup")
+    in_s = b.istream("in")
+    lut = b.idxl_istream("LUT")
+    out_s = b.ostream("out")
+    a = b.read(in_s)
+    value = b.idx_read(lut, a)
+    c = b.arith(foo, a, value, name="foo")
+    b.write(out_s, c)
+    kernel = b.build()
+
+    # --- data placement ------------------------------------------------
+    n = 256                       # stream length in words
+    table = [v * v for v in range(64)]
+    in_arr = SrfArray(proc.srf, n, "in")
+    out_arr = SrfArray(proc.srf, n, "out")
+    lut_arr = SrfArray(proc.srf, len(table) * lanes, "LUT")
+    lut_arr.fill_replicated(table)  # one copy per lane (paper §5.2)
+
+    inputs = [i % 64 for i in range(n)]
+    src = proc.memory.allocate(n, "src")
+    dst = proc.memory.allocate(n, "dst")
+    proc.memory.load_region(src, inputs)
+
+    # --- the stream program ---------------------------------------------
+    prog = StreamProgram("quickstart")
+    t_load = prog.add_memory(load_op(in_arr.seq_read(), src))
+    t_kernel = prog.add_kernel(
+        KernelInvocation(kernel, {
+            "in": in_arr.seq_read(),
+            "LUT": lut_arr.inlane_read(len(table)),
+            "out": out_arr.seq_write(),
+        }, iterations=n // lanes),
+        deps=[t_load],
+    )
+    prog.add_memory(store_op(out_arr.seq_write(name="st"), dst),
+                    deps=[t_kernel])
+
+    stats = proc.run_program(prog)
+
+    # --- results -----------------------------------------------------------
+    results = proc.memory.dump_region(dst)
+    expected = [foo(v, table[v]) for v in inputs]
+    assert results == expected, "functional mismatch!"
+    run = stats.kernel_runs[0]
+    print(f"lookup kernel on {config.name}: {stats.total_cycles} cycles")
+    print(f"  II={run.ii}, loop body={run.loop_body_cycles} cycles, "
+          f"SRF stalls={run.srf_stall_cycles}, "
+          f"overheads={run.overhead_cycles}")
+    print(f"  indexed SRF reads: {run.inlane_words} words "
+          f"({run.inlane_bandwidth:.2f} words/cycle/lane)")
+    print(f"  off-chip traffic: {stats.offchip_words} words "
+          f"(the {len(table) * lanes}-word table never left the SRF)")
+    print(f"  first results: {results[:8]}  ... all {n} verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Scenario: a 2D signal-processing pipeline (FFT + convolution filter).
+
+Two of the paper's application constructs in one pipeline:
+
+* **multi-dimensional array access** — the 2D FFT's second dimension
+  runs directly in the SRF on the indexed machines (Figure 3b), while
+  Base/Cache rotate the array through memory (Figure 3a);
+* **neighbour access in a regular grid** — the 5x5 convolution reads
+  its 25-tap window with in-lane indexed SRF accesses instead of
+  managing a scratchpad (Figure 4).
+
+Both stages verify bit-level results against numpy references.
+
+Run:  python examples/signal_processing.py
+"""
+
+from repro.apps import fft, filter2d
+from repro.config import base_config, cache_config, isrf4_config
+
+
+def main():
+    configs = [base_config(), isrf4_config(), cache_config()]
+
+    print("Stage 1: 2D FFT (32 x 32 complex, resident in the SRF)")
+    fft_results = {}
+    for config in configs:
+        result = fft.run(config, n=32).require_verified()
+        fft_results[config.name] = result
+    base = fft_results["Base"]
+    for name, result in fft_results.items():
+        rotation = "through memory" if name != "ISRF4" else "in-SRF indexed"
+        print(f"  {name:6s}: {result.cycles:7d} cycles "
+              f"({base.cycles / result.cycles:4.2f}x), "
+              f"{result.offchip_words:6d} off-chip words "
+              f"[2nd dimension {rotation}]")
+
+    print("\nStage 2: 5x5 convolution (64 x 64 image)")
+    flt_results = {}
+    for config in configs:
+        result = filter2d.run(config, height=64, width=64)
+        flt_results[config.name] = result.require_verified()
+    base = flt_results["Base"]
+    for name, result in flt_results.items():
+        run = result.stats.kernel_runs[0]
+        how = ("scratchpad window management" if name != "ISRF4"
+               else "25 in-lane indexed reads/pixel")
+        print(f"  {name:6s}: {result.cycles:7d} cycles "
+              f"({base.cycles / result.cycles:4.2f}x), kernel II={run.ii} "
+              f"[{how}]")
+
+    total_base = fft_results["Base"].cycles + flt_results["Base"].cycles
+    total_isrf = fft_results["ISRF4"].cycles + flt_results["ISRF4"].cycles
+    print(f"\nPipeline total: Base {total_base} cycles, "
+          f"ISRF4 {total_isrf} cycles "
+          f"-> {total_base / total_isrf:.2f}x with an 18% SRF area cost "
+          f"(~2.4% of the die).")
+
+
+if __name__ == "__main__":
+    main()

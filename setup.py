@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517` (legacy editable installs) on offline
+machines that lack wheel/bdist_wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — reproduction of "Stream Register Files with Indexed Access"
+(Jayasena, Erez, Ahn, Dally; HPCA 2004).
+
+A cycle-level stream-processor simulator with sequential, indexed
+(ISRF1 / ISRF4 / cross-lane), and cache-backed SRF organisations, a
+KernelC-style kernel DSL with a modulo scheduler, area/energy models,
+and the paper's complete benchmark suite.
+
+Typical entry points::
+
+    from repro.config import isrf4_config
+    from repro.machine import StreamProcessor
+    from repro.kernel import KernelBuilder
+    from repro.harness import figure11, headline
+
+See README.md for a walkthrough and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

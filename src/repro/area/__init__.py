@@ -1,0 +1,23 @@
+"""Area and energy models for the SRF organisations (paper §4.4, §4.6)."""
+
+from repro.area.energy import EnergyModel, EnergyReport
+from repro.area.floorplan import (
+    IMAGINE_SRF_DIE_FRACTION,
+    DieModel,
+    DieOverhead,
+)
+from repro.area.sram import AreaBreakdown, SrfAreaModel, subarray_geometry
+from repro.area.technology import CMOS13, Technology
+
+__all__ = [
+    "AreaBreakdown",
+    "CMOS13",
+    "DieModel",
+    "DieOverhead",
+    "EnergyModel",
+    "EnergyReport",
+    "IMAGINE_SRF_DIE_FRACTION",
+    "SrfAreaModel",
+    "Technology",
+    "subarray_geometry",
+]

@@ -1,0 +1,68 @@
+"""Die-level view of the SRF area overheads (paper §4.6).
+
+The paper translates SRF-relative overheads into whole-die terms using
+the Imagine processor statistics of [13]: the 11%–22% SRF overheads
+"represent 1.5% to 3% of overall die area", which implies the SRF
+occupies roughly an eighth of the die. :class:`DieModel` performs that
+translation for any SRF organisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.area.sram import SrfAreaModel
+from repro.errors import ConfigurationError
+
+#: Fraction of the die occupied by the (sequential) SRF, from the
+#: Imagine VLSI statistics the paper cites ([13]): chosen so that a 22%
+#: SRF overhead is ~3% of the die and 11% is ~1.5%.
+IMAGINE_SRF_DIE_FRACTION = 0.136
+
+
+@dataclass
+class DieOverhead:
+    """One SRF variant's cost at die level."""
+
+    variant: str
+    srf_overhead: float
+    die_overhead: float
+
+
+class DieModel:
+    """Maps SRF-relative overheads to whole-die overheads."""
+
+    def __init__(self, area_model: "SrfAreaModel | None" = None,
+                 srf_die_fraction: float = IMAGINE_SRF_DIE_FRACTION):
+        if not 0.0 < srf_die_fraction < 1.0:
+            raise ConfigurationError("srf_die_fraction must be in (0, 1)")
+        self.area_model = area_model or SrfAreaModel()
+        self.srf_die_fraction = srf_die_fraction
+
+    @property
+    def die_area_mm2(self) -> float:
+        """Implied total die area."""
+        return self.area_model.sequential().total_mm2 / self.srf_die_fraction
+
+    def report(self) -> list:
+        """Die-level overheads of every indexed variant (paper §4.6)."""
+        rows = []
+        for variant, srf_overhead in self.area_model.overhead_report().items():
+            rows.append(DieOverhead(
+                variant=variant,
+                srf_overhead=srf_overhead,
+                die_overhead=srf_overhead * self.srf_die_fraction,
+            ))
+        return rows
+
+    def cache_overhead(self, relative_to_srf: float = 1.25) -> DieOverhead:
+        """The Cache configuration's cost for comparison.
+
+        The paper (§5): the cache "incurs a 100%-150% area overhead over
+        a sequentially accessed SRF"; 125% is the midpoint.
+        """
+        return DieOverhead(
+            variant="Cache",
+            srf_overhead=relative_to_srf,
+            die_overhead=relative_to_srf * self.srf_die_fraction,
+        )

@@ -1,0 +1,6 @@
+"""On-chip cache substrate for the paper's ``Cache`` configuration."""
+
+from repro.cache.cache import BankedCache, CacheAccessResult, CacheStats
+from repro.cache.lru import LruSet
+
+__all__ = ["BankedCache", "CacheAccessResult", "CacheStats", "LruSet"]

@@ -1,0 +1,153 @@
+"""Banked set-associative cache — the paper's ``Cache`` configuration.
+
+The Cache machine backs its sequential-only SRF with a 128 KB, 4-way,
+4-bank on-chip cache with 2-word lines, LRU replacement and 16 GB/s of
+bandwidth (Table 3), mirroring the vector-cache studies the paper cites
+([20]–[23]). Two paper-critical behaviours live here:
+
+* the cache stores *redundant* copies of data that is also in the SRF
+  (which is why its area overhead is 100%–150% of the SRF, §5);
+* "caching is only performed for streams with potential for temporal
+  locality in order to minimize cache pollution" — the memory controller
+  consults the cache only for ops marked cacheable.
+
+The cache is a timing *filter* in front of DRAM: a hit consumes cache
+bandwidth only; a miss additionally fetches a line from DRAM (and writes
+back a dirty victim), which is how off-chip traffic reduction shows up
+in Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.lru import LruSet
+from repro.config.machine import MachineConfig
+from repro.errors import MemorySystemError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss and traffic counters."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    fill_words: int = 0
+    writeback_words: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class CacheAccessResult:
+    """Outcome of one word access: hit flag and DRAM words it caused."""
+
+    hit: bool
+    dram_read_words: int
+    dram_writeback_words: int
+    #: Word address of the line fill (line base), when a fill occurred.
+    fill_base: "int | None" = None
+    #: Word address of the evicted dirty line, when a writeback occurred.
+    writeback_base: "int | None" = None
+
+    @property
+    def dram_words(self) -> int:
+        return self.dram_read_words + self.dram_writeback_words
+
+
+class BankedCache:
+    """Timing/functional model of the Table 3 cache.
+
+    Data values are not duplicated here — the functional contents always
+    live in :class:`~repro.memory.mainmem.MainMemory`; the cache tracks
+    residency and dirtiness per line, which is all the timing model needs
+    (write-allocate, write-back policy).
+
+    Banking: sets are interleaved across ``cache_banks`` banks. Bank
+    conflicts are folded into the controller's aggregate cache-bandwidth
+    budget (16 GB/s = 4 words/cycle), which Table 3 quotes as the peak
+    across all banks; per-bank access counters are kept for inspection.
+    """
+
+    def __init__(self, config: MachineConfig):
+        if not config.has_cache:
+            raise MemorySystemError(
+                f"machine '{config.name}' is configured without a cache"
+            )
+        self.line_words = config.cache_line_words
+        self.num_sets = config.cache_sets
+        self.ways = config.cache_associativity
+        self.banks = config.cache_banks
+        self.hit_latency = config.cache_hit_latency
+        self.words_per_cycle = config.cache_words_per_cycle
+        self._sets = [LruSet(self.ways) for _ in range(self.num_sets)]
+        self.bank_accesses = [0] * self.banks
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _locate(self, addr: int) -> tuple:
+        """Map a word address to (set_index, tag, bank)."""
+        if addr < 0:
+            raise MemorySystemError(f"negative cache address {addr}")
+        line = addr // self.line_words
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        bank = set_index % self.banks
+        return set_index, tag, bank
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive residency check (no LRU update, no stats)."""
+        set_index, tag, _bank = self._locate(addr)
+        return tag in self._sets[set_index].resident_tags()
+
+    def access(self, addr: int, is_write: bool) -> CacheAccessResult:
+        """Perform one word access, allocating on miss.
+
+        Returns the DRAM traffic the access induced: a line fill on miss
+        plus a dirty-line writeback when the victim was modified.
+        """
+        set_index, tag, bank = self._locate(addr)
+        self.bank_accesses[bank] += 1
+        self.stats.accesses += 1
+        cache_set = self._sets[set_index]
+        if cache_set.lookup(tag):
+            self.stats.hits += 1
+            if is_write:
+                cache_set.mark_dirty(tag)
+            return CacheAccessResult(True, 0, 0)
+        self.stats.misses += 1
+        evicted = cache_set.insert(tag)
+        writeback = 0
+        writeback_base = None
+        if evicted is not None and evicted[1]:
+            writeback = self.line_words
+            self.stats.writeback_words += writeback
+            victim_line = evicted[0] * self.num_sets + set_index
+            writeback_base = victim_line * self.line_words
+        fill = self.line_words
+        fill_base = (addr // self.line_words) * self.line_words
+        if is_write:
+            cache_set.mark_dirty(tag)
+            # Streaming stores write whole (short) lines: allocate
+            # without fetching — no fill traffic on a write miss.
+            fill = 0
+            fill_base = None
+        self.stats.fill_words += fill
+        return CacheAccessResult(
+            False, fill, writeback,
+            fill_base=fill_base, writeback_base=writeback_base,
+        )
+
+    def flush(self) -> int:
+        """Invalidate everything; returns dirty words written back."""
+        writeback = 0
+        for cache_set in self._sets:
+            for tag in cache_set.resident_tags():
+                if cache_set.is_dirty(tag):
+                    writeback += self.line_words
+        self._sets = [LruSet(self.ways) for _ in range(self.num_sets)]
+        self.stats.writeback_words += writeback
+        return writeback

@@ -1,0 +1,62 @@
+"""LRU replacement state for one cache set."""
+
+from __future__ import annotations
+
+from repro.errors import MemorySystemError
+
+
+class LruSet:
+    """One set of a set-associative cache with true-LRU replacement.
+
+    Lines are identified by tag. ``touch`` moves a tag to MRU position;
+    ``victim`` reports the LRU tag that would be evicted.
+    """
+
+    def __init__(self, ways: int):
+        if ways <= 0:
+            raise MemorySystemError("a cache set needs at least one way")
+        self.ways = ways
+        self._order = []  # tags, LRU first
+        self._dirty = set()
+
+    def lookup(self, tag) -> bool:
+        """True and promote to MRU if ``tag`` is resident."""
+        if tag in self._order:
+            self._order.remove(tag)
+            self._order.append(tag)
+            return True
+        return False
+
+    @property
+    def full(self) -> bool:
+        return len(self._order) >= self.ways
+
+    def victim(self):
+        """Tag that would be evicted next, or None if the set has space."""
+        if not self.full:
+            return None
+        return self._order[0]
+
+    def insert(self, tag) -> "tuple | None":
+        """Install ``tag`` as MRU; returns ``(victim_tag, was_dirty)`` or None."""
+        if tag in self._order:
+            raise MemorySystemError(f"tag {tag} already resident")
+        evicted = None
+        if self.full:
+            victim = self._order.pop(0)
+            evicted = (victim, victim in self._dirty)
+            self._dirty.discard(victim)
+        self._order.append(tag)
+        return evicted
+
+    def mark_dirty(self, tag) -> None:
+        if tag not in self._order:
+            raise MemorySystemError(f"tag {tag} not resident")
+        self._dirty.add(tag)
+
+    def is_dirty(self, tag) -> bool:
+        return tag in self._dirty
+
+    def resident_tags(self) -> list:
+        """Tags currently resident, LRU first (for inspection/tests)."""
+        return list(self._order)

@@ -1,0 +1,21 @@
+"""Machine configuration (paper Tables 2 and 3)."""
+
+from repro.config.machine import WORD_BYTES, MachineConfig, SrfMode
+from repro.config.presets import (
+    all_configs,
+    base_config,
+    cache_config,
+    isrf1_config,
+    isrf4_config,
+)
+
+__all__ = [
+    "WORD_BYTES",
+    "MachineConfig",
+    "SrfMode",
+    "all_configs",
+    "base_config",
+    "cache_config",
+    "isrf1_config",
+    "isrf4_config",
+]

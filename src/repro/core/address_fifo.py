@@ -1,0 +1,129 @@
+"""Per-lane address FIFOs for indexed SRF streams (paper Section 4.4).
+
+Clusters compute *record* addresses with their ALUs and push them into a
+dedicated FIFO per indexed stream per lane. A counter at the head of the
+FIFO breaks each record access into a sequence of single-word accesses,
+"significantly reducing the address generation overhead imposed on the
+compute clusters". The SRF's local arbitration only ever consumes the
+head word access of each FIFO, which is what produces the head-of-line
+blocking studied in Figure 17.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import SrfError
+
+
+@dataclass
+class RecordAccess:
+    """One record-granular entry of an address FIFO.
+
+    ``words`` lists the record's single-word targets in order as
+    ``(target_lane, bank_local_addr)`` pairs — for in-lane streams every
+    target lane equals the issuing lane, while a cross-lane record
+    striped across banks may straddle lanes. ``tickets`` lists the
+    reorder-buffer tickets the words fill (reads); ``values`` lists the
+    words to store (writes). Exactly one of the two is set.
+    """
+
+    words: list  # of (target_lane, bank_local_addr)
+    tickets: "list | None" = None  # reads
+    values: "list | None" = None  # writes
+
+    def __post_init__(self) -> None:
+        if (self.tickets is None) == (self.values is None):
+            raise SrfError("a record access is either a read or a write")
+        payload = self.tickets if self.tickets is not None else self.values
+        if len(payload) != len(self.words):
+            raise SrfError("one ticket/value per word required")
+
+    @property
+    def is_read(self) -> bool:
+        return self.tickets is not None
+
+
+@dataclass(frozen=True)
+class WordAccess:
+    """A single-word access peeled off the head of an address FIFO."""
+
+    bank_local_addr: int
+    target_lane: int
+    source_lane: int
+    stream_id: int
+    ticket: "int | None"  # reads: reorder ticket; writes: None
+    value: object  # writes: the word to store; reads: None
+
+    @property
+    def is_read(self) -> bool:
+        return self.ticket is not None
+
+
+class AddressFifo:
+    """FIFO of pending record accesses for one indexed stream in one lane.
+
+    Capacity is counted in *record entries*, matching Table 3's
+    "Address FIFO size (per lane per stream)" parameter; the head counter
+    that expands records into words is free.
+    """
+
+    def __init__(self, capacity_entries: int, stream_id: int, lane: int):
+        if capacity_entries <= 0:
+            raise SrfError("AddressFifo needs positive capacity")
+        self.capacity = capacity_entries
+        self.stream_id = stream_id
+        self.lane = lane
+        self._entries = deque()
+        self._head_word = 0  # expansion counter at the FIFO head
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def push(self, access: RecordAccess) -> None:
+        """Enqueue a record access (cluster-side)."""
+        if self.is_full:
+            raise SrfError("address FIFO overflow")
+        if not access.words:
+            raise SrfError("empty record access")
+        self._entries.append(access)
+
+    def peek_word(self) -> "WordAccess | None":
+        """The head single-word access, or None when the FIFO is empty."""
+        if not self._entries:
+            return None
+        head = self._entries[0]
+        word = self._head_word
+        target_lane, addr = head.words[word]
+        return WordAccess(
+            bank_local_addr=addr,
+            target_lane=target_lane,
+            source_lane=self.lane,
+            stream_id=self.stream_id,
+            ticket=head.tickets[word] if head.tickets is not None else None,
+            value=head.values[word] if head.values is not None else None,
+        )
+
+    def advance(self) -> None:
+        """Consume the head word access (it was granted this cycle)."""
+        if not self._entries:
+            raise SrfError("advance on empty address FIFO")
+        head = self._entries[0]
+        self._head_word += 1
+        if self._head_word >= len(head.words):
+            self._entries.popleft()
+            self._head_word = 0
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._head_word = 0

@@ -1,0 +1,59 @@
+"""Round-robin arbitration primitives for the SRF port (paper §4.4).
+
+Arbitration for the single SRF port is a two-stage process: *global*
+arbitration selects either one sequential stream or all indexed streams;
+*local* arbitration in each lane then picks which indexed accesses
+proceed, subject to sub-array conflicts. Section 5.4 notes that a simple
+round-robin scheme is within 10% of complex stall-aware arbiters, so
+round-robin is what both stages use here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SrfError
+
+
+class RoundRobinArbiter:
+    """Fair pick among a dynamic set of requesters.
+
+    :meth:`pick` returns the first requester at or after the rotating
+    pointer for which ``predicate`` holds, then advances the pointer past
+    the winner.
+    """
+
+    def __init__(self):
+        self._pointer = 0
+
+    def pick(self, candidates, predicate):
+        """Select the next eligible candidate, or None.
+
+        ``candidates`` is an indexable sequence; ``predicate`` maps a
+        candidate to bool. The rotation pointer is interpreted modulo the
+        current candidate count, so the candidate list may change size
+        between calls.
+        """
+        count = len(candidates)
+        if count == 0:
+            return None
+        start = self._pointer % count
+        for step in range(count):
+            position = (start + step) % count
+            candidate = candidates[position]
+            if predicate(candidate):
+                self._pointer = position + 1
+                return candidate
+        return None
+
+    def rotation(self, count: int) -> list:
+        """Index order for scanning ``count`` items starting at the pointer."""
+        if count < 0:
+            raise SrfError("negative candidate count")
+        if count == 0:
+            return []
+        start = self._pointer % count
+        return [(start + step) % count for step in range(count)]
+
+    def advance(self, count: int) -> None:
+        """Rotate the pointer by one position over ``count`` items."""
+        if count > 0:
+            self._pointer = (self._pointer + 1) % count

@@ -1,0 +1,160 @@
+"""Stream descriptors and the indexed stream types of paper Table 1.
+
+A :class:`StreamDescriptor` names a region of SRF space holding a stream
+of fixed-size records, together with the access discipline a kernel uses
+for it. The three indexed disciplines mirror Table 1 of the paper:
+
+==================  ====================  ==========================
+Access type         Paper stream type     Descriptor ``kind``
+==================  ====================  ==========================
+Sequential read     ``istream<T>``        ``SEQUENTIAL_READ``
+Sequential write    ``ostream<T>``        ``SEQUENTIAL_WRITE``
+In-lane idx read    ``idxl_istream<T>``   ``INLANE_INDEXED_READ``
+In-lane idx write   ``idxl_ostream<T>``   ``INLANE_INDEXED_WRITE``
+Cross-lane idx read ``idx_istream<T>``    ``CROSSLANE_INDEXED_READ``
+==================  ====================  ==========================
+
+Cross-lane indexed *writes* are not supported, exactly as in the paper
+(Section 4.7: "Currently we do not support cross-lane indexed write
+streams").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import SrfError
+
+
+class StreamKind(enum.Enum):
+    """Access discipline of a kernel stream (paper Table 1).
+
+    ``INLANE_INDEXED_READWRITE`` implements the extension sketched in
+    the paper's future work (§7): "read-write data structures allow
+    even more flexibility for application-specific tasks as well as
+    system-level uses such as spilling local registers to the SRF."
+    Reads and writes of a read-write stream share one address FIFO, so
+    their relative order — and hence read-after-write consistency
+    within a kernel — is preserved by the FIFO itself.
+    """
+
+    SEQUENTIAL_READ = "istream"
+    SEQUENTIAL_WRITE = "ostream"
+    INLANE_INDEXED_READ = "idxl_istream"
+    INLANE_INDEXED_WRITE = "idxl_ostream"
+    INLANE_INDEXED_READWRITE = "idxl_iostream"
+    CROSSLANE_INDEXED_READ = "idx_istream"
+
+    @property
+    def is_sequential(self) -> bool:
+        return self in (StreamKind.SEQUENTIAL_READ, StreamKind.SEQUENTIAL_WRITE)
+
+    @property
+    def is_indexed(self) -> bool:
+        return not self.is_sequential
+
+    @property
+    def is_read(self) -> bool:
+        return self in (
+            StreamKind.SEQUENTIAL_READ,
+            StreamKind.INLANE_INDEXED_READ,
+            StreamKind.INLANE_INDEXED_READWRITE,
+            StreamKind.CROSSLANE_INDEXED_READ,
+        )
+
+    @property
+    def is_write(self) -> bool:
+        return self in (
+            StreamKind.SEQUENTIAL_WRITE,
+            StreamKind.INLANE_INDEXED_WRITE,
+            StreamKind.INLANE_INDEXED_READWRITE,
+        )
+
+    @property
+    def is_crosslane(self) -> bool:
+        return self is StreamKind.CROSSLANE_INDEXED_READ
+
+
+class IndexSpace(enum.Enum):
+    """What an indexed stream's record index refers to.
+
+    ``PER_LANE`` indices address records within the lane's own bank (used
+    for replicated lookup tables and per-lane partitions); ``GLOBAL``
+    indices address records of a stream striped across all banks (used by
+    cross-lane access).
+    """
+
+    PER_LANE = "per-lane"
+    GLOBAL = "global"
+
+
+_stream_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class StreamDescriptor:
+    """A named region of SRF space accessed as a stream of records.
+
+    ``base`` is a global SRF word address (block aligned by the
+    allocator); ``length_records`` and ``record_words`` size the stream;
+    ``kind`` fixes the access discipline for the duration of one kernel.
+    The same underlying allocation may be wrapped by several descriptors
+    across kernels (e.g. written sequentially by one kernel, then read
+    with in-lane indexing by the next) — that is exactly the reordered
+    reuse the paper's SRF indexing captures.
+    """
+
+    name: str
+    kind: StreamKind
+    base: int
+    length_records: int
+    record_words: int = 1
+    index_space: IndexSpace = IndexSpace.PER_LANE
+    stream_id: int = field(default_factory=lambda: next(_stream_ids))
+
+    def __post_init__(self) -> None:
+        if self.length_records < 0:
+            raise SrfError(f"stream {self.name}: negative length")
+        if self.record_words <= 0:
+            raise SrfError(f"stream {self.name}: record_words must be >= 1")
+        if self.base < 0:
+            raise SrfError(f"stream {self.name}: negative base address")
+        if self.kind is StreamKind.CROSSLANE_INDEXED_READ:
+            if self.index_space is not IndexSpace.GLOBAL:
+                raise SrfError(
+                    f"stream {self.name}: cross-lane streams use GLOBAL "
+                    "record indices"
+                )
+        if self.kind in (
+            StreamKind.INLANE_INDEXED_READ,
+            StreamKind.INLANE_INDEXED_WRITE,
+            StreamKind.INLANE_INDEXED_READWRITE,
+        ) and self.index_space is not IndexSpace.PER_LANE:
+            raise SrfError(
+                f"stream {self.name}: in-lane streams use PER_LANE indices"
+            )
+
+    @property
+    def length_words(self) -> int:
+        """Total stream footprint in words."""
+        return self.length_records * self.record_words
+
+    def with_kind(
+        self, kind: StreamKind, index_space: "IndexSpace | None" = None
+    ) -> "StreamDescriptor":
+        """A new descriptor over the same data with a different discipline."""
+        if index_space is None:
+            if kind is StreamKind.CROSSLANE_INDEXED_READ:
+                index_space = IndexSpace.GLOBAL
+            else:
+                index_space = IndexSpace.PER_LANE
+        return StreamDescriptor(
+            name=self.name,
+            kind=kind,
+            base=self.base,
+            length_records=self.length_records,
+            record_words=self.record_words,
+            index_space=index_space,
+        )

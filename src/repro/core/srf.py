@@ -1,0 +1,601 @@
+"""The stream register file with indexed access — the paper's contribution.
+
+:class:`StreamRegisterFile` assembles the pieces of Sections 4.1–4.5 into
+one cycle-steppable device:
+
+* a single time-multiplexed port that each cycle serves *either* one
+  sequential ``N x m``-word block access *or* all indexed streams
+  (two-stage arbitration, §4.4);
+* per-lane sequential stream buffers (:class:`SequentialPort`);
+* per-lane, per-stream address FIFOs and reorder buffers for indexed
+  streams (:class:`IndexedStream`);
+* per-bank local arbitration with sub-array conflict detection and
+  head-of-line blocking (§4.2, Figure 17);
+* cross-lane access through dedicated address and data-return crossbars
+  (§4.5, Figure 18).
+
+Clients (the kernel executor and the memory controller) interact through
+small, explicit protocols: sequential ports expose ``wants_grant`` /
+``on_grant``; indexed streams expose ``can_issue`` / ``issue_read`` /
+``issue_write`` / ``data_ready`` / ``pop_data``. Everything functional
+(actual word values) lives in :class:`~repro.core.storage.SrfStorage`,
+so the timing model and the data model can never diverge.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.config.machine import MachineConfig
+from repro.core.address_fifo import AddressFifo, RecordAccess, WordAccess
+from repro.core.arbiter import RoundRobinArbiter
+from repro.core.descriptors import IndexSpace, StreamDescriptor
+from repro.core.geometry import SrfGeometry
+from repro.core.storage import SrfAllocator, SrfStorage
+from repro.core.stream_buffer import LaneFifo, ReorderBuffer
+from repro.errors import SrfError
+from repro.interconnect.crossbar import (
+    AddressNetwork,
+    ReturnNetwork,
+    RingAddressNetwork,
+)
+
+
+class PortDirection(enum.Enum):
+    """Direction of a sequential port relative to its client."""
+
+    #: SRF -> client (the client pops words the port fetched).
+    READ = "read"
+    #: client -> SRF (the client pushes words the port drains).
+    WRITE = "write"
+
+
+@dataclass
+class SrfStats:
+    """Per-run SRF traffic and arbitration counters."""
+
+    cycles: int = 0
+    sequential_grants: int = 0
+    sequential_words: int = 0
+    inlane_grants: int = 0
+    crosslane_grants: int = 0
+    indexed_write_grants: int = 0
+    indexed_cycles: int = 0
+    #: Indexed-group cycles in which zero accesses were granted.
+    empty_indexed_cycles: int = 0
+    #: Head word accesses present but not granted in an indexed cycle
+    #: (sub-array conflicts, port limits, network backpressure).
+    blocked_heads: int = 0
+
+    @property
+    def indexed_words(self) -> int:
+        return self.inlane_grants + self.crosslane_grants + self.indexed_write_grants
+
+
+class SequentialPort:
+    """One sequential stream's connection to the SRF port.
+
+    The port fetches (reads) or drains (writes) whole ``N x m`` blocks
+    between :class:`~repro.core.storage.SrfStorage` and a per-lane stream
+    buffer; the client moves one word per lane per access on the other
+    side. Streams whose length is not a whole number of blocks are padded
+    with zeros on the final block, as the block-aligned allocator
+    guarantees the space exists.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, srf: "StreamRegisterFile", descriptor: StreamDescriptor,
+                 direction: PortDirection, buffer_words: "int | None" = None):
+        self.port_id = next(SequentialPort._ids)
+        self.srf = srf
+        self.descriptor = descriptor
+        self.direction = direction
+        geometry = srf.geometry
+        self.block_words = geometry.block_words
+        self.words_per_lane = geometry.words_per_lane_access
+        self.total_blocks = geometry.blocks_spanned(
+            descriptor.base, descriptor.length_words
+        )
+        self.fifo = LaneFifo(
+            geometry.lanes, buffer_words or srf.config.stream_buffer_words
+        )
+        self._blocks_done = 0
+        #: Words per lane granted but not yet delivered (pipelined reads
+        #: must reserve buffer space at grant time or back-to-back grants
+        #: would overflow the stream buffer when they land).
+        self._inflight_words = 0
+        self._flush_requested = direction is PortDirection.READ
+
+    # -- client side ------------------------------------------------------
+    def can_pop(self) -> bool:
+        return self.direction is PortDirection.READ and self.fifo.can_pop(1)
+
+    def pop_simd(self) -> list:
+        """Pop one word per lane (cluster-side sequential read)."""
+        return self.fifo.pop_simd()
+
+    def can_push(self) -> bool:
+        return self.direction is PortDirection.WRITE and self.fifo.can_push(1)
+
+    def push_simd(self, lane_values) -> None:
+        """Push one word per lane (cluster-side sequential write)."""
+        self.fifo.push_simd(lane_values)
+
+    def flush(self) -> None:
+        """Request that buffered write data be drained even if partial."""
+        self._flush_requested = True
+
+    @property
+    def drained(self) -> bool:
+        """True when all stream data has moved through the port."""
+        if self.direction is PortDirection.READ:
+            return self._blocks_done >= self.total_blocks
+        return self._blocks_done >= self.total_blocks or (
+            self._flush_requested and self.fifo.occupancy == 0
+            and not self._partial_pending()
+        )
+
+    # -- arbiter side ------------------------------------------------------
+    def wants_grant(self) -> bool:
+        if self._blocks_done >= self.total_blocks:
+            return False
+        if self.direction is PortDirection.READ:
+            return (
+                self.fifo.space - self._inflight_words >= self.words_per_lane
+            )
+        occupancy = self.fifo.occupancy
+        if occupancy >= self.words_per_lane:
+            return True
+        return self._flush_requested and occupancy > 0
+
+    def on_grant(self, cycle: int) -> int:
+        """Perform one block transfer; returns words moved."""
+        base = self.descriptor.base + self._blocks_done * self.block_words
+        if self.direction is PortDirection.READ:
+            per_lane = [
+                self.srf.storage.read_range(
+                    base + lane * self.words_per_lane, self.words_per_lane
+                )
+                for lane in range(self.fifo.lanes)
+            ]
+            self.srf.schedule_fill(
+                cycle + self.srf.config.srf_sequential_latency, self, per_lane
+            )
+            self._blocks_done += 1
+            self._inflight_words += self.words_per_lane
+            return self.block_words
+        width = min(self.words_per_lane, self.fifo.occupancy)
+        per_lane = self.fifo.pop_block(width)
+        for lane, words in enumerate(per_lane):
+            self.srf.storage.write_range(
+                base + lane * self.words_per_lane, words
+            )
+        if width == self.words_per_lane or self._flush_requested:
+            self._blocks_done += 1
+        return width * self.fifo.lanes
+
+    def deliver_fill(self, per_lane) -> None:
+        """Complete a pipelined read block (called by the SRF)."""
+        self._inflight_words -= len(per_lane[0])
+        self.fifo.push_block(per_lane)
+
+    def _partial_pending(self) -> bool:
+        return self._blocks_done < self.total_blocks and self.fifo.occupancy > 0
+
+
+class IndexedStream:
+    """Timing and data state for one indexed stream (Table 1 kinds).
+
+    A read stream owns, per lane, an address FIFO and a reorder buffer;
+    issuing a record reserves reorder slots so data returns in issue
+    order (Figure 9's stall semantics). A write stream's FIFO entries
+    carry the data words; ``outstanding_writes`` lets the executor
+    barrier on write drain at kernel end.
+    """
+
+    def __init__(self, srf: "StreamRegisterFile", descriptor: StreamDescriptor):
+        if descriptor.kind.is_sequential:
+            raise SrfError(f"{descriptor.name}: not an indexed stream kind")
+        self.srf = srf
+        self.descriptor = descriptor
+        lanes = srf.geometry.lanes
+        cfg = srf.config
+        self.fifos = [
+            AddressFifo(cfg.address_fifo_words, descriptor.stream_id, lane)
+            for lane in range(lanes)
+        ]
+        if descriptor.kind.is_read:
+            self.robs = [
+                ReorderBuffer(cfg.stream_buffer_words) for _ in range(lanes)
+            ]
+        else:
+            self.robs = None
+        self.outstanding_writes = 0
+        self._local_base = self._compute_local_base()
+
+    @property
+    def is_crosslane(self) -> bool:
+        return self.descriptor.kind.is_crosslane
+
+    @property
+    def is_read(self) -> bool:
+        return self.descriptor.kind.is_read
+
+    def _compute_local_base(self) -> int:
+        geometry = self.srf.geometry
+        base = self.descriptor.base
+        if base % geometry.block_words:
+            raise SrfError(
+                f"{self.descriptor.name}: indexed streams need block-aligned "
+                f"bases (got {base})"
+            )
+        return (base // geometry.block_words) * geometry.words_per_lane_access
+
+    # -- address resolution ------------------------------------------------
+    def resolve(self, lane: int, record_index: int) -> list:
+        """Word targets ``(target_lane, bank_local_addr)`` of a record."""
+        descriptor = self.descriptor
+        if not 0 <= record_index < descriptor.length_records:
+            raise SrfError(
+                f"{descriptor.name}: record index {record_index} out of "
+                f"range [0,{descriptor.length_records})"
+            )
+        rw = descriptor.record_words
+        if descriptor.index_space is IndexSpace.PER_LANE:
+            start = self._local_base + record_index * rw
+            return [(lane, start + j) for j in range(rw)]
+        geometry = self.srf.geometry
+        start = descriptor.base + record_index * rw
+        return [geometry.split(start + j) for j in range(rw)]
+
+    # -- client (cluster) side ----------------------------------------------
+    def can_issue(self, lane: int) -> bool:
+        """Whether ``lane`` may enqueue another record access now."""
+        if self.fifos[lane].is_full:
+            return False
+        if self.robs is not None:
+            return self.robs[lane].can_reserve(self.descriptor.record_words)
+        return True
+
+    def issue_read(self, lane: int, record_index: int) -> None:
+        """Enqueue a record read; reserves in-order reorder slots."""
+        if not self.is_read:
+            raise SrfError(f"{self.descriptor.name}: not a read stream")
+        words = self.resolve(lane, record_index)
+        tickets = [self.robs[lane].reserve() for _ in words]
+        self.fifos[lane].push(RecordAccess(words=words, tickets=tickets))
+
+    def issue_write(self, lane: int, record_index: int, values) -> None:
+        """Enqueue a record write carrying its data words."""
+        if not self.descriptor.kind.is_write:
+            raise SrfError(f"{self.descriptor.name}: not a write stream")
+        words = self.resolve(lane, record_index)
+        values = list(values)
+        if len(values) != len(words):
+            raise SrfError(
+                f"{self.descriptor.name}: record needs "
+                f"{self.descriptor.record_words} words"
+            )
+        self.fifos[lane].push(RecordAccess(words=words, values=values))
+        self.outstanding_writes += len(words)
+
+    def data_ready(self, lane: int) -> bool:
+        """Whether the oldest issued record's next word is readable."""
+        return self.robs is not None and self.robs[lane].head_ready()
+
+    def record_ready(self, lane: int) -> bool:
+        """Whether a full record (``record_words`` words) is readable."""
+        return self.robs is not None and self.robs[lane].head_ready_n(
+            self.descriptor.record_words
+        )
+
+    def pop_record(self, lane: int):
+        """Pop one full record; single-word records return the bare word."""
+        words = [
+            self.pop_data(lane) for _ in range(self.descriptor.record_words)
+        ]
+        return words[0] if len(words) == 1 else tuple(words)
+
+    def pop_data(self, lane: int):
+        """Pop the next in-order data word for ``lane``."""
+        if self.robs is None:
+            raise SrfError(f"{self.descriptor.name}: write streams have no data")
+        return self.robs[lane].pop()
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no addresses or writes remain in flight."""
+        if any(not fifo.is_empty for fifo in self.fifos):
+            return False
+        return self.outstanding_writes == 0
+
+    def pending_addresses(self) -> bool:
+        return any(not fifo.is_empty for fifo in self.fifos)
+
+
+@dataclass(order=True)
+class _InFlight:
+    """A pipelined SRF operation completing at ``due`` (heap entry)."""
+
+    due: int
+    sequence: int
+    action: object = field(compare=False)  # zero-arg callable
+
+
+class StreamRegisterFile:
+    """Cycle-steppable SRF with sequential and indexed access.
+
+    Construct one per simulated machine; register sequential ports and
+    indexed streams, then call :meth:`tick` once per cycle. ``comm_busy``
+    tells the SRF whether the inter-cluster network carries an explicit
+    (statically scheduled) communication this cycle, which takes priority
+    over cross-lane data returns (§4.5).
+    """
+
+    def __init__(self, config: MachineConfig):
+        config.validate()
+        self.config = config
+        self.geometry = SrfGeometry(
+            lanes=config.lanes,
+            bank_words=config.bank_words,
+            words_per_lane_access=config.words_per_lane_access,
+            subarrays_per_bank=config.subarrays_per_bank,
+        )
+        self.storage = SrfStorage(self.geometry)
+        self.allocator = SrfAllocator(self.geometry)
+        self.stats = SrfStats()
+        self._seq_ports = []
+        self._indexed = {}  # stream_id -> IndexedStream
+        self._global_arbiter = RoundRobinArbiter()
+        self._seq_arbiter = RoundRobinArbiter()
+        self._bank_arbiters = [RoundRobinArbiter() for _ in range(config.lanes)]
+        network_cls = (
+            RingAddressNetwork if config.crosslane_network == "ring"
+            else AddressNetwork
+        )
+        self.address_network = network_cls(
+            lanes=config.lanes,
+            ports_per_bank=config.crosslane_ports_per_bank,
+            source_bandwidth=max(1, config.crosslane_indexed_bandwidth or 1),
+        )
+        self.return_network = ReturnNetwork(lanes=config.lanes)
+        self._in_flight = []  # heap of _InFlight
+        self._sequence = itertools.count()
+        self._comm_busy = False
+        #: Per-bank grant cap for indexed word accesses per cycle.
+        self._bank_cap = (
+            min(config.inlane_indexed_bandwidth, config.subarrays_per_bank)
+            if config.supports_indexing
+            else 0
+        )
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def open_sequential(
+        self,
+        descriptor: StreamDescriptor,
+        direction: "PortDirection | None" = None,
+        buffer_words: "int | None" = None,
+    ) -> SequentialPort:
+        """Attach a sequential stream to the SRF port."""
+        if direction is None:
+            direction = (
+                PortDirection.READ
+                if descriptor.kind.is_read
+                else PortDirection.WRITE
+            )
+        port = SequentialPort(self, descriptor, direction, buffer_words)
+        self._seq_ports.append(port)
+        return port
+
+    def close_sequential(self, port: SequentialPort) -> None:
+        """Detach a sequential port (its stream finished)."""
+        self._seq_ports.remove(port)
+
+    def attach_port(self, port) -> None:
+        """Register a duck-typed sequential requester (memory-system port).
+
+        ``port`` must expose ``wants_grant() -> bool`` and
+        ``on_grant(cycle) -> int`` (words moved), like
+        :class:`SequentialPort`.
+        """
+        self._seq_ports.append(port)
+
+    def detach_port(self, port) -> None:
+        """Unregister a port attached with :meth:`attach_port`."""
+        self._seq_ports.remove(port)
+
+    def open_indexed(self, descriptor: StreamDescriptor) -> IndexedStream:
+        """Attach an indexed stream (requires an ISRF machine)."""
+        if not self.config.supports_indexing:
+            raise SrfError(
+                f"machine '{self.config.name}' has a sequential-only SRF; "
+                f"cannot open indexed stream {descriptor.name}"
+            )
+        stream = IndexedStream(self, descriptor)
+        self._indexed[descriptor.stream_id] = stream
+        return stream
+
+    def close_indexed(self, stream: IndexedStream) -> None:
+        if not stream.quiescent:
+            raise SrfError(
+                f"{stream.descriptor.name}: closing with accesses in flight"
+            )
+        del self._indexed[stream.descriptor.stream_id]
+
+    # ------------------------------------------------------------------
+    # Cycle stepping
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int, comm_busy: bool = False) -> None:
+        """Advance the SRF by one cycle.
+
+        ``comm_busy`` marks a cycle carrying an explicit (statically
+        scheduled) inter-cluster communication: it pre-empts cross-lane
+        data returns and, on machines with a shared inter-lane network
+        (§4.5's preferred option), cross-lane index injection as well.
+        """
+        self.stats.cycles += 1
+        self._comm_busy = comm_busy
+        self._complete_due(cycle)
+        self.return_network.tick(comm_busy)
+        self._arbitrate(cycle)
+
+    def schedule_fill(self, due: int, port: SequentialPort, per_lane) -> None:
+        """Register a pipelined sequential read completion."""
+        self._push_in_flight(due, lambda: port.deliver_fill(per_lane))
+
+    def _push_in_flight(self, due: int, action) -> None:
+        heapq.heappush(
+            self._in_flight, _InFlight(due, next(self._sequence), action)
+        )
+
+    def _complete_due(self, cycle: int) -> None:
+        while self._in_flight and self._in_flight[0].due <= cycle:
+            heapq.heappop(self._in_flight).action()
+
+    # ------------------------------------------------------------------
+    # Arbitration (two-stage, §4.4)
+    # ------------------------------------------------------------------
+    _INDEXED_GROUP = "indexed"
+
+    def _arbitrate(self, cycle: int) -> None:
+        """Two-stage arbitration (§4.4): the global stage selects either
+        ONE sequential stream or ALL indexed streams, alternating fairly
+        between the two classes; a second round-robin picks which
+        sequential stream when that class wins."""
+        sequential = [p for p in self._seq_ports if p.wants_grant()]
+        indexed_wanted = any(
+            s.pending_addresses() for s in self._indexed.values()
+        )
+        if not sequential and not indexed_wanted:
+            return
+        if sequential and indexed_wanted:
+            classes = ["sequential", self._INDEXED_GROUP]
+            winner_class = self._global_arbiter.pick(classes, lambda _c: True)
+        elif sequential:
+            winner_class = "sequential"
+        else:
+            winner_class = self._INDEXED_GROUP
+        if winner_class is self._INDEXED_GROUP:
+            self._grant_indexed(cycle)
+        else:
+            port = self._seq_arbiter.pick(sequential, lambda _p: True)
+            self.stats.sequential_grants += 1
+            self.stats.sequential_words += port.on_grant(cycle)
+
+    def _grant_indexed(self, cycle: int) -> None:
+        self.stats.indexed_cycles += 1
+        self.address_network.begin_cycle()
+        granted_total = 0
+        blocked_total = 0
+        # Candidate heads per bank: in-lane heads live at their own bank;
+        # cross-lane heads are offered by their source lane to the target
+        # bank of their head word access.
+        streams = list(self._indexed.values())
+        for bank in range(self.geometry.lanes):
+            granted, blocked = self._grant_bank(bank, streams, cycle)
+            granted_total += granted
+            blocked_total += blocked
+        if granted_total == 0:
+            self.stats.empty_indexed_cycles += 1
+        self.stats.blocked_heads += blocked_total
+
+    def _grant_bank(self, bank: int, streams, cycle: int) -> tuple:
+        """Local arbitration for one bank; returns (granted, blocked)."""
+        heads = []
+        for stream in streams:
+            if stream.is_crosslane:
+                for lane in range(self.geometry.lanes):
+                    word = stream.fifos[lane].peek_word()
+                    if word is not None and word.target_lane == bank:
+                        heads.append((stream, lane, word))
+            else:
+                word = stream.fifos[bank].peek_word()
+                if word is not None:
+                    heads.append((stream, bank, word))
+        if not heads:
+            return 0, 0
+        used_subarrays = set()
+        granted = 0
+        if self.config.indexed_arbitration == "occupancy":
+            # Stall-aware policy (§5.4): serve the fullest address FIFOs
+            # first — the streams most likely to stall the clusters.
+            order = sorted(
+                range(len(heads)),
+                key=lambda p: -heads[p][0].fifos[heads[p][1]].occupancy,
+            )
+        else:
+            order = self._bank_arbiters[bank].rotation(len(heads))
+        for position in order:
+            stream, lane, word = heads[position]
+            if granted >= self._bank_cap:
+                break
+            subarray = self.geometry.subarray_of(word.bank_local_addr)
+            if self._bank_cap > 1 and subarray in used_subarrays:
+                continue
+            if stream.is_crosslane:
+                if (self.config.shared_interlane_network
+                        and self._comm_busy):
+                    continue  # the shared network carries the comm
+                if not self.return_network.bank_has_space(bank):
+                    continue
+                if not self.address_network.try_route(lane, bank):
+                    continue
+                self.return_network.reserve(bank)
+            used_subarrays.add(subarray)
+            stream.fifos[lane].advance()
+            self._launch(stream, word, bank, cycle)
+            granted += 1
+        self._bank_arbiters[bank].advance(len(heads))
+        return granted, len(heads) - granted
+
+    def _launch(self, stream: IndexedStream, word: WordAccess, bank: int,
+                cycle: int) -> None:
+        """Start the pipelined completion of one granted word access."""
+        cfg = self.config
+        if word.is_read:
+            value = self.storage.read_lane(bank, word.bank_local_addr)
+            if stream.is_crosslane:
+                self.stats.crosslane_grants += 1
+                rob = stream.robs[word.source_lane]
+                due = cycle + max(1, cfg.crosslane_indexed_latency - 1)
+                self._push_in_flight(
+                    due,
+                    lambda: self.return_network.enqueue(
+                        bank, word.source_lane, word.ticket, value,
+                        word.stream_id, rob.fill,
+                    ),
+                )
+            else:
+                self.stats.inlane_grants += 1
+                rob = stream.robs[word.source_lane]
+                self._push_in_flight(
+                    cycle + cfg.inlane_indexed_latency,
+                    lambda: rob.fill(word.ticket, value),
+                )
+        else:
+            self.stats.indexed_write_grants += 1
+            self.storage.write_lane(bank, word.bank_local_addr, word.value)
+            self._push_in_flight(
+                cycle + cfg.inlane_indexed_latency,
+                lambda: self._retire_write(stream),
+            )
+
+    @staticmethod
+    def _retire_write(stream: IndexedStream) -> None:
+        stream.outstanding_writes -= 1
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when nothing is in flight anywhere in the SRF."""
+        if self._in_flight or self.return_network.pending():
+            return False
+        if any(p.wants_grant() for p in self._seq_ports):
+            return False
+        return all(s.quiescent for s in self._indexed.values())

@@ -1,0 +1,184 @@
+"""Stream buffers: the rate-matching FIFOs between SRF and clusters.
+
+The SRF port moves ``N x m`` words per access while compute clusters
+consume/produce one word per lane per stream access, so every stream is
+fronted by a buffer (paper Section 4.3, Figure 8).
+
+Two buffer flavours are provided:
+
+* :class:`LaneFifo` — the classic sequential stream buffer: one FIFO per
+  lane, filled/drained ``m`` words per lane by SRF block accesses and
+  popped/pushed one word per lane by the (SIMD lock-stepped) clusters.
+* :class:`ReorderBuffer` — the data-side buffer of an *indexed* stream
+  (Section 4.4). Slots are reserved in program order when addresses
+  issue, filled out of order as bank/sub-array arbitration completes
+  accesses, and popped strictly in order so the cluster sees the same
+  interface as a sequential stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SrfError
+
+
+class LaneFifo:
+    """Per-lane word FIFOs with a shared capacity, for sequential streams.
+
+    All lanes fill and drain at the same rate because clusters execute in
+    SIMD lockstep, so occupancy is tracked once and asserted uniform.
+    """
+
+    def __init__(self, lanes: int, capacity_words: int):
+        if lanes <= 0 or capacity_words <= 0:
+            raise SrfError("LaneFifo needs positive lanes and capacity")
+        self.lanes = lanes
+        self.capacity = capacity_words
+        self._fifos = [deque() for _ in range(lanes)]
+
+    @property
+    def occupancy(self) -> int:
+        """Words currently buffered per lane."""
+        return len(self._fifos[0])
+
+    @property
+    def space(self) -> int:
+        """Free word slots per lane."""
+        return self.capacity - self.occupancy
+
+    def can_push(self, words: int = 1) -> bool:
+        return self.space >= words
+
+    def can_pop(self, words: int = 1) -> bool:
+        return self.occupancy >= words
+
+    def push_block(self, per_lane_words) -> None:
+        """Push ``m`` words into every lane (an SRF-side fill).
+
+        ``per_lane_words`` is a sequence of ``lanes`` sequences, each the
+        same length.
+        """
+        if len(per_lane_words) != self.lanes:
+            raise SrfError("push_block needs one word list per lane")
+        width = len(per_lane_words[0])
+        if any(len(ws) != width for ws in per_lane_words):
+            raise SrfError("push_block requires uniform lane widths")
+        if not self.can_push(width):
+            raise SrfError("stream buffer overflow")
+        for fifo, words in zip(self._fifos, per_lane_words):
+            fifo.extend(words)
+
+    def pop_block(self, words: int) -> list:
+        """Pop ``words`` words from every lane (an SRF-side drain)."""
+        if not self.can_pop(words):
+            raise SrfError("stream buffer underflow")
+        return [
+            [fifo.popleft() for _ in range(words)] for fifo in self._fifos
+        ]
+
+    def push_simd(self, lane_values) -> None:
+        """Push one word per lane (a cluster-side write)."""
+        if len(lane_values) != self.lanes:
+            raise SrfError("push_simd needs one value per lane")
+        if not self.can_push(1):
+            raise SrfError("stream buffer overflow")
+        for fifo, value in zip(self._fifos, lane_values):
+            fifo.append(value)
+
+    def pop_simd(self) -> list:
+        """Pop one word per lane (a cluster-side read)."""
+        if not self.can_pop(1):
+            raise SrfError("stream buffer underflow")
+        return [fifo.popleft() for fifo in self._fifos]
+
+    def clear(self) -> None:
+        for fifo in self._fifos:
+            fifo.clear()
+
+
+class _Slot:
+    """One reorder-buffer slot: reserved at issue, filled at completion."""
+
+    __slots__ = ("value", "valid")
+
+    def __init__(self):
+        self.value = None
+        self.valid = False
+
+
+class ReorderBuffer:
+    """In-order delivery buffer for one indexed stream in one lane.
+
+    ``reserve`` claims the next slot at address-issue time and returns a
+    ticket; ``fill`` deposits data into that ticket's slot whenever the
+    SRF access completes; ``pop`` succeeds only when the *oldest*
+    reserved slot has been filled. This reproduces the stall behaviour of
+    Figure 9: a cluster trying to read data whose access was delayed by a
+    sub-array conflict stalls even if younger accesses completed.
+    """
+
+    def __init__(self, capacity_words: int):
+        if capacity_words <= 0:
+            raise SrfError("ReorderBuffer needs positive capacity")
+        self.capacity = capacity_words
+        self._slots = deque()  # of _Slot, oldest first
+        self._next_ticket = 0
+        self._head_ticket = 0
+        self._live = {}  # ticket -> _Slot
+
+    @property
+    def occupancy(self) -> int:
+        """Slots currently reserved (filled or not)."""
+        return len(self._slots)
+
+    @property
+    def space(self) -> int:
+        return self.capacity - self.occupancy
+
+    def can_reserve(self, words: int = 1) -> bool:
+        return self.space >= words
+
+    def reserve(self) -> int:
+        """Reserve the next in-order slot; returns a fill ticket."""
+        if not self.can_reserve():
+            raise SrfError("reorder buffer full")
+        slot = _Slot()
+        self._slots.append(slot)
+        ticket = self._next_ticket
+        self._live[ticket] = slot
+        self._next_ticket += 1
+        return ticket
+
+    def fill(self, ticket: int, value) -> None:
+        """Deposit data for a previously reserved ticket."""
+        slot = self._live.pop(ticket, None)
+        if slot is None:
+            raise SrfError(f"unknown or already-filled ticket {ticket}")
+        slot.value = value
+        slot.valid = True
+
+    def head_ready(self) -> bool:
+        """True when the oldest reserved slot has been filled."""
+        return bool(self._slots) and self._slots[0].valid
+
+    def head_ready_n(self, count: int) -> bool:
+        """True when the ``count`` oldest reserved slots are all filled.
+
+        Used for multi-word records: the cluster reads a record only once
+        every one of its words has returned.
+        """
+        if count > len(self._slots):
+            return False
+        return all(self._slots[k].valid for k in range(count))
+
+    def pop(self):
+        """Pop the oldest slot's value; raises if it is not filled yet."""
+        if not self.head_ready():
+            raise SrfError("reorder buffer head not ready")
+        self._head_ticket += 1
+        return self._slots.popleft().value
+
+    def clear(self) -> None:
+        self._slots.clear()
+        self._live.clear()

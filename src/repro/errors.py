@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent machine configuration was supplied."""
+
+
+class SrfError(ReproError):
+    """An illegal stream-register-file operation was attempted."""
+
+
+class SrfAllocationError(SrfError):
+    """SRF space could not be allocated (capacity exceeded / overlap)."""
+
+
+class SrfAccessError(SrfError):
+    """An SRF access fell outside an allocated stream or the array."""
+
+
+class KernelBuildError(ReproError):
+    """A kernel dataflow graph was constructed incorrectly."""
+
+
+class ScheduleError(ReproError):
+    """The modulo scheduler could not produce a legal schedule."""
+
+
+class ExecutionError(ReproError):
+    """A stream program performed an illegal operation at run time."""
+
+
+class MemorySystemError(ReproError):
+    """An illegal memory-system request was issued."""

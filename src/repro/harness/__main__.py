@@ -1,0 +1,73 @@
+"""Print every reproduced table and figure: ``python -m repro.harness``.
+
+Pass experiment names (``fig11 fig17 area ...``) to run a subset, and
+``--json PATH`` to additionally dump the structured results. Set
+``REPRO_SCALE`` (small / medium / paper) to choose workload sizes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.harness import figures
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    json_path = None
+    if "--json" in argv:
+        position = argv.index("--json")
+        json_path = argv[position + 1]
+        argv = argv[:position] + argv[position + 2:]
+    wanted = set(argv)
+    experiments = [
+        ("table3", figures.table3),
+        ("table4", figures.table4),
+        ("area", figures.area_overheads),
+        ("energy", figures.energy_table),
+        ("energy_cmp", figures.energy_comparison),
+        ("fig11", figures.figure11),
+        ("fig12", figures.figure12),
+        ("fig13", figures.figure13),
+        ("fig14", figures.figure14),
+        ("fig15", figures.figure15),
+        ("fig16", figures.figure16),
+        ("fig17", figures.figure17),
+        ("fig18", figures.figure18),
+        ("headline", figures.headline),
+    ]
+    scale = figures.default_scale()
+    print(f"# repro harness (scale: {scale})\n")
+    collected = {}
+    for name, fn in experiments:
+        if wanted and name not in wanted:
+            continue
+        start = time.time()
+        result = fn()
+        print(result["text"])
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+        collected[name] = {
+            k: _jsonable(v) for k, v in result.items() if k != "text"
+        }
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            json.dump({"scale": scale, "experiments": collected}, handle,
+                      indent=2)
+        print(f"wrote {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Plain-text rendering of experiment tables and series."""
+
+from __future__ import annotations
+
+
+def format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(title: str, headers: list, rows: list) -> str:
+    """Render an ASCII table with a title line."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])),
+            max((len(row[col]) for row in cells), default=0))
+        for col in range(len(headers))
+    ]
+
+    def line(parts):
+        return "  ".join(str(p).rjust(w) for p, w in zip(parts, widths))
+
+    out = [title, line(headers), line("-" * w for w in widths)]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_grid(title: str, row_label: str, row_keys: list,
+                col_label: str, col_keys: list, values: dict) -> str:
+    """Render a 2D sweep: ``values[(row, col)]`` keyed by sweep points."""
+    headers = [f"{row_label}\\{col_label}"] + [str(c) for c in col_keys]
+    rows = [
+        [str(r)] + [values[(r, c)] for c in col_keys] for r in row_keys
+    ]
+    return render_table(title, headers, rows)

@@ -1,0 +1,136 @@
+"""High-level application constructs (paper §7 future work).
+
+"We believe that in addition to the low-level API described in section
+4.7, exporting application constructs that benefit from SRF indexing
+via high-level APIs within the context of sequential streaming is also
+an attractive approach. This allows the programmer interface to
+maintain the abstraction of linear streams while enabling the
+compilation tools to automatically identify opportunities for SRF
+indexing."
+
+:class:`LookupTable` is that idea for the most common construct, the
+data-dependent table lookup (§3.2): the *same* kernel code lowers to
+
+* **in-lane indexed SRF reads** on ISRF machines — the table is
+  replicated into every lane's bank once and lookups never leave the
+  chip; or
+* **memory gathers feeding a sequential stream** on Base/Cache
+  machines — the classic reorder-through-memory fallback (cacheable on
+  the Cache machine), with the gather addresses produced by a
+  functional pre-pass exactly as the Rijndael baseline does.
+
+The caller writes one kernel and one program; the lowering is picked by
+the machine's capabilities.
+"""
+
+from __future__ import annotations
+
+from repro.core.arrays import SrfArray
+from repro.errors import ExecutionError
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.ir import KernelStream, Op
+from repro.machine.processor import StreamProcessor
+from repro.machine.program import StreamProgram
+from repro.memory.ops import gather_op
+
+
+class LookupTable:
+    """A lookup table that auto-selects indexed-SRF or gather lowering.
+
+    Usage::
+
+        table = LookupTable(proc, values, "LUT")
+        b = KernelBuilder("k")
+        stream = table.declare(b)            # idxl_istream OR istream
+        v = table.lookup(b, stream, idx_op)  # idx_read OR seq read
+        ...
+        bindings, deps = table.prepare(prog, per_lane_indices, rep)
+
+    On sequential machines the per-iteration lookup *indices* must be
+    supplied to :meth:`prepare` (the gather needs its addresses up
+    front); indexed machines ignore them. ``lookup`` consumes exactly
+    one table access per kernel iteration in program order, so the
+    gathered stream and the indexed stream see identical sequences.
+    """
+
+    def __init__(self, processor: StreamProcessor, values, name: str = "lut"):
+        self.processor = processor
+        self.values = list(values)
+        self.name = name
+        self.indexed = processor.config.supports_indexing
+        lanes = processor.config.lanes
+        if self.indexed:
+            self.array = SrfArray(
+                processor.srf, len(self.values) * lanes, name
+            )
+            self.array.fill_replicated(self.values)
+            self.region = None
+            self._gather_buffers = None
+        else:
+            self.array = None
+            self.region = processor.memory.allocate(
+                len(self.values), f"mem_{name}"
+            )
+            processor.memory.load_region(self.region, self.values)
+            self._gather_buffers = {}
+
+    # -- kernel side ------------------------------------------------------
+    def declare(self, builder: KernelBuilder) -> KernelStream:
+        """Declare this table's stream on a kernel builder."""
+        if self.indexed:
+            return builder.idxl_istream(self.name)
+        return builder.istream(self.name)
+
+    def lookup(self, builder: KernelBuilder, stream: KernelStream,
+               index: Op, name: str = "") -> Op:
+        """One table access per iteration: ``table[index]``."""
+        if self.indexed:
+            return builder.idx_read(stream, index, name=name)
+        # Sequential lowering: the gather already fetched table[index]
+        # into the stream, in iteration order.
+        return builder.read(stream, name=name)
+
+    # -- program side -----------------------------------------------------
+    def prepare(self, program: StreamProgram, rep: int,
+                per_lane_indices: "list | None" = None,
+                deps=()) -> tuple:
+        """Stage this strip's table data; returns (binding, dep_tasks).
+
+        ``per_lane_indices`` lists, per lane, the lookup indices the
+        kernel will issue this strip (one per iteration, in order) —
+        required on sequential machines, ignored on indexed ones.
+        """
+        if self.indexed:
+            return self.array.inlane_read(len(self.values)), []
+        if per_lane_indices is None:
+            raise ExecutionError(
+                f"{self.name}: sequential machines need the lookup index "
+                "trace to build the gather"
+            )
+        lanes = self.processor.config.lanes
+        if len(per_lane_indices) != lanes:
+            raise ExecutionError(
+                f"{self.name}: need an index list per lane"
+            )
+        width = max(len(lst) for lst in per_lane_indices)
+        m = self.processor.srf.geometry.words_per_lane_access
+        width = -(-width // m) * m
+        padded = [
+            list(lst) + [0] * (width - len(lst))
+            for lst in per_lane_indices
+        ]
+        buf = rep % 2
+        key = (buf, width)
+        if key not in self._gather_buffers:
+            self._gather_buffers[key] = SrfArray(
+                self.processor.srf, width * lanes,
+                f"{self.name}_g{buf}_{width}",
+            )
+        array = self._gather_buffers[key]
+        offsets = array.stream_image_per_lane(padded)
+        task = program.add_memory(gather_op(
+            array.seq_read(width * lanes), self.region, offsets,
+            cacheable=self.processor.config.has_cache,
+            name=f"gather_{self.name}_{rep}",
+        ), deps=list(deps))
+        return array.seq_read(width * lanes), [task]

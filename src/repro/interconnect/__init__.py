@@ -1,0 +1,15 @@
+"""Inter-lane crossbars for cross-lane indexed SRF access (paper §4.5)."""
+
+from repro.interconnect.crossbar import (
+    AddressNetwork,
+    CrossbarStats,
+    ReturnNetwork,
+    RingAddressNetwork,
+)
+
+__all__ = [
+    "AddressNetwork",
+    "CrossbarStats",
+    "ReturnNetwork",
+    "RingAddressNetwork",
+]

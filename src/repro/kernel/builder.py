@@ -1,0 +1,258 @@
+"""KernelBuilder — the Python stand-in for KernelC (paper §4.7).
+
+The paper extends KernelC with indexed stream types and C-array-style
+index syntax (Figure 10). Here a kernel is built programmatically; the
+Figure 10 lookup kernel reads:
+
+.. code-block:: python
+
+    b = KernelBuilder("lookup")
+    in_s = b.istream("in")
+    lut = b.idxl_istream("LUT")
+    out = b.ostream("out")
+    a = b.read(in_s)                  # in >> a;
+    value = b.idx_read(lut, a)        # LUT[a] >> b;
+    c = b.arith(foo, a, value)        # c = foo(a, b);
+    b.write(out, c)                   # out << c;
+    kernel = b.build()
+
+One builder describes ONE iteration of the kernel's inner loop; loop
+state lives in carries (``b.carry`` / ``b.update``), which is also how
+loop-carried recurrences — the thing that makes Rijndael and Sort
+schedules grow with address-data separation in Figure 14 — enter the
+dependence graph.
+"""
+
+from __future__ import annotations
+
+import operator
+
+from repro.core.descriptors import StreamKind
+from repro.errors import KernelBuildError
+from repro.kernel.ir import Carry, Kernel, KernelStream, Op
+from repro.kernel.ops import OpKind
+
+
+class KernelBuilder:
+    """Incrementally builds a :class:`~repro.kernel.ir.Kernel` graph."""
+
+    def __init__(self, name: str):
+        self._kernel = Kernel(name=name)
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Stream declarations (paper Table 1)
+    # ------------------------------------------------------------------
+    def istream(self, name: str, record_words: int = 1) -> KernelStream:
+        """Sequential input stream (``istream<T>``)."""
+        return self._declare(name, StreamKind.SEQUENTIAL_READ, record_words)
+
+    def ostream(self, name: str, record_words: int = 1) -> KernelStream:
+        """Sequential output stream (``ostream<T>``)."""
+        return self._declare(name, StreamKind.SEQUENTIAL_WRITE, record_words)
+
+    def idxl_istream(self, name: str, record_words: int = 1) -> KernelStream:
+        """In-lane indexed input stream (``idxl_istream<T>``)."""
+        return self._declare(name, StreamKind.INLANE_INDEXED_READ, record_words)
+
+    def idxl_ostream(self, name: str, record_words: int = 1) -> KernelStream:
+        """In-lane indexed output stream (``idxl_ostream<T>``)."""
+        return self._declare(name, StreamKind.INLANE_INDEXED_WRITE, record_words)
+
+    def idxl_iostream(self, name: str, record_words: int = 1) -> KernelStream:
+        """In-lane indexed read-write stream (``idxl_iostream<T>``).
+
+        The paper's future-work extension (§7): reads and writes share
+        the stream's address FIFO, so read-after-write order within the
+        kernel is preserved by the FIFO itself.
+        """
+        return self._declare(
+            name, StreamKind.INLANE_INDEXED_READWRITE, record_words
+        )
+
+    def idx_istream(self, name: str, record_words: int = 1) -> KernelStream:
+        """Cross-lane indexed input stream (``idx_istream<T>``)."""
+        return self._declare(
+            name, StreamKind.CROSSLANE_INDEXED_READ, record_words
+        )
+
+    def _declare(self, name, kind, record_words) -> KernelStream:
+        if name in self._kernel.streams:
+            raise KernelBuildError(f"stream {name!r} declared twice")
+        stream = KernelStream(name, kind, record_words)
+        self._kernel.streams[name] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # Values and arithmetic
+    # ------------------------------------------------------------------
+    def const(self, value, name: str = "") -> Op:
+        """A compile-time constant."""
+        return self._add(Op(OpKind.CONST, value=value, name=name))
+
+    def laneid(self, name: str = "") -> Op:
+        """The cluster's lane number (0..lanes-1), free like a register."""
+        return self._add(Op(OpKind.LANEID, name=name or "laneid"))
+
+    def arith(self, fn, *operands, name: str = "") -> Op:
+        """Generic short-latency ALU op with functional payload ``fn``."""
+        return self._add(
+            Op(OpKind.ARITH, operands, payload=fn, name=name)
+        )
+
+    def logic(self, fn, *operands, name: str = "") -> Op:
+        """Single-cycle ALU op (XOR, AND, shifts, byte extracts)."""
+        return self._add(
+            Op(OpKind.LOGIC, operands, payload=fn, name=name)
+        )
+
+    def xor(self, a: Op, b: Op, name: str = "") -> Op:
+        return self.logic(operator.xor, a, b, name=name or "xor")
+
+    def add(self, a: Op, b: Op, name: str = "") -> Op:
+        return self.arith(operator.add, a, b, name=name or "add")
+
+    def sub(self, a: Op, b: Op, name: str = "") -> Op:
+        return self.arith(operator.sub, a, b, name=name or "sub")
+
+    def mul(self, a: Op, b: Op, name: str = "") -> Op:
+        """Pipelined multiply (4-cycle ALU op)."""
+        return self._add(
+            Op(OpKind.MUL, (a, b), payload=operator.mul, name=name or "mul")
+        )
+
+    def div(self, a: Op, b: Op, name: str = "") -> Op:
+        """Unpipelined divide on the single divider unit."""
+        return self._add(
+            Op(OpKind.DIV, (a, b), payload=operator.truediv,
+               name=name or "div")
+        )
+
+    def select(self, cond: Op, if_true: Op, if_false: Op, name: str = "") -> Op:
+        """Predicated select — how conditionals become dataflow (§3.2)."""
+        return self.arith(
+            lambda c, t, f: t if c else f, cond, if_true, if_false,
+            name=name or "select",
+        )
+
+    def lt(self, a: Op, b: Op, name: str = "") -> Op:
+        return self.arith(operator.lt, a, b, name=name or "lt")
+
+    def land(self, a: Op, b: Op, name: str = "") -> Op:
+        return self.arith(lambda x, y: bool(x) and bool(y), a, b,
+                          name=name or "and")
+
+    def mac_chain(self, pairs, name: str = "mac") -> Op:
+        """Multiply-accumulate over (a, b) op pairs — a convolution helper."""
+        pairs = list(pairs)
+        if not pairs:
+            raise KernelBuildError("mac_chain needs at least one pair")
+        acc = self.mul(pairs[0][0], pairs[0][1], name=f"{name}_0")
+        for position, (a, b) in enumerate(pairs[1:], start=1):
+            product = self.mul(a, b, name=f"{name}_m{position}")
+            acc = self.add(acc, product, name=f"{name}_a{position}")
+        return acc
+
+    # ------------------------------------------------------------------
+    # Loop-carried state
+    # ------------------------------------------------------------------
+    def carry(self, init_value, name: str) -> Op:
+        """Declare loop-carried state; returns its read op (value at
+        iteration start)."""
+        carry = Carry(init_value, name)
+        read = Op(OpKind.CARRY, name=f"carry_{name}")
+        read.carry = carry
+        carry.read_op = read
+        self._kernel.carries.append(carry)
+        return self._add(read)
+
+    def update(self, carry_read: Op, value: Op) -> None:
+        """Set the next-iteration value of a carry (the loop back edge)."""
+        if carry_read.kind is not OpKind.CARRY or carry_read.carry is None:
+            raise KernelBuildError("update target is not a carry read")
+        if carry_read.carry.update_op is not None:
+            raise KernelBuildError(
+                f"carry {carry_read.carry.name} updated twice"
+            )
+        carry_read.carry.update_op = value
+
+    # ------------------------------------------------------------------
+    # Stream access
+    # ------------------------------------------------------------------
+    def read(self, stream: KernelStream, name: str = "") -> Op:
+        """Pop the next word from a sequential input stream."""
+        self._expect(stream, StreamKind.SEQUENTIAL_READ)
+        return self._add(Op(OpKind.SEQ_READ, stream=stream,
+                            name=name or f"read_{stream.name}"))
+
+    def write(self, stream: KernelStream, value: Op, name: str = "") -> Op:
+        """Push one word to a sequential output stream."""
+        self._expect(stream, StreamKind.SEQUENTIAL_WRITE)
+        return self._add(Op(OpKind.SEQ_WRITE, (value,), stream=stream,
+                            name=name or f"write_{stream.name}"))
+
+    def idx_read(self, stream: KernelStream, index: Op,
+                 predicate: "Op | None" = None, name: str = "") -> Op:
+        """Indexed read ``stream[index]`` (in-lane or cross-lane).
+
+        With ``predicate``, lanes whose predicate is falsy skip the
+        access entirely (no address issued) and read the value 0.
+        Returns the data op; the address-issue op is created implicitly
+        and separated from the data op by the configured address-data
+        separation at schedule time.
+        """
+        if stream.kind not in (StreamKind.INLANE_INDEXED_READ,
+                               StreamKind.INLANE_INDEXED_READWRITE,
+                               StreamKind.CROSSLANE_INDEXED_READ):
+            raise KernelBuildError(
+                f"{stream.name} is not an indexed input stream"
+            )
+        operands = [index] if predicate is None else [index, predicate]
+        issue = self._add(Op(OpKind.IDX_ISSUE, operands, stream=stream,
+                             name=(name or stream.name) + "_issue"))
+        data = self._add(Op(OpKind.IDX_DATA, (issue,), stream=stream,
+                            name=(name or stream.name) + "_data"))
+        return data
+
+    def idx_write(self, stream: KernelStream, index: Op, value: Op,
+                  predicate: "Op | None" = None, name: str = "") -> Op:
+        """Indexed write ``stream[index] = value`` (in-lane only)."""
+        if stream.kind not in (StreamKind.INLANE_INDEXED_WRITE,
+                               StreamKind.INLANE_INDEXED_READWRITE):
+            raise KernelBuildError(
+                f"{stream.name} is not an indexed output stream"
+            )
+        operands = [index, value]
+        if predicate is not None:
+            operands.append(predicate)
+        return self._add(Op(OpKind.IDX_WRITE, operands, stream=stream,
+                            name=name or f"idxwrite_{stream.name}"))
+
+    def comm(self, value: Op, source_lane: Op, name: str = "") -> Op:
+        """Inter-cluster communication: each lane receives ``value`` from
+        lane ``source_lane % lanes`` (a full-crossbar permutation)."""
+        return self._add(Op(OpKind.COMM, (value, source_lane),
+                            name=name or "comm"))
+
+    # ------------------------------------------------------------------
+    def build(self) -> Kernel:
+        """Validate and return the finished kernel."""
+        if self._built:
+            raise KernelBuildError("build() called twice")
+        self._kernel.validate()
+        self._built = True
+        return self._kernel
+
+    # ------------------------------------------------------------------
+    def _add(self, op: Op) -> Op:
+        if self._built:
+            raise KernelBuildError("kernel already built")
+        self._kernel.ops.append(op)
+        return op
+
+    @staticmethod
+    def _expect(stream: KernelStream, kind: StreamKind) -> None:
+        if stream.kind is not kind:
+            raise KernelBuildError(
+                f"{stream.name} is {stream.kind.value}, expected {kind.value}"
+            )

@@ -1,0 +1,409 @@
+"""A KernelC front-end: compile the paper's §4.7 syntax to kernel IR.
+
+The paper extends the Imagine KernelC language with indexed stream
+types and C-array-style indexing (Figure 10, Table 1). This module
+implements a front-end for that surface, so the paper's example
+compiles verbatim::
+
+    kernel lookup(
+        istream<int> in,       // sequential in stream
+        idxl_istream<int> LUT, // indexed in stream
+        ostream<int> out) {    // seq. out stream
+        int a, b, c;
+        while (!eos(in)) {
+            in >> a;           // sequential stream access
+            LUT[a] >> b;       // indexed stream access
+            c = foo(a, b);
+            out << c;
+        }
+    }
+
+Supported subset:
+
+* stream parameters of every Table 1 type plus the §7 read-write
+  extension (``idxl_iostream``);
+* ``int``/``float`` declarations with optional initialisers;
+* one ``while (!eos(<stream>))`` loop — the kernel's inner loop;
+* statements: ``s >> v;`` (sequential read), ``s[e] >> v;`` (indexed
+  read), ``s << e;`` (sequential write), ``s[e] << e;`` (indexed
+  write), ``v = e;`` and inter-cluster ``v = comm(e, src);``;
+* expressions: ``? :``, ``|| && | ^ & == != < <= > >= << >> + - * / %``,
+  unary ``- ! ~``, calls to registered intrinsic functions, variables,
+  integer/float literals.
+
+Loop-carried state is *inferred*: a variable read in the loop before
+its first in-loop assignment, and assigned somewhere in the loop,
+becomes a carry initialised from its declaration — which is exactly how
+a CBC chain or a merge pointer is written in C.
+
+Operator cost mapping: ``*`` is a pipelined multiply, ``/``/``%`` use
+the unpipelined divider, ``+``/``-`` are 2-cycle ALU ops, and the
+bitwise/compare/shift family are 1-cycle logic ops.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import KernelBuildError
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.ir import Kernel
+
+_STREAM_TYPES = (
+    "istream", "ostream", "idxl_istream", "idxl_ostream",
+    "idxl_iostream", "idx_istream",
+)
+
+_TOKEN_RE = re.compile(r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<number>0x[0-9a-fA-F]+|\d+\.\d*|\.\d+|\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op><<=?|>>=?|<=|>=|==|!=|&&|\|\||[-+*/%<>=!~&|^?:;,(){}\[\]])
+  | (?P<ws>\s+)
+""", re.VERBOSE | re.DOTALL)
+
+
+class KernelCError(KernelBuildError):
+    """A syntax or semantic error in KernelC source."""
+
+
+def _tokenize(source: str) -> list:
+    tokens = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise KernelCError(
+                f"unexpected character {source[position]!r} at "
+                f"offset {position}"
+            )
+        position = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _Tokens:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, ahead: int = 0):
+        index = self._pos + ahead
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def next(self):
+        token = self.peek()
+        if token is None:
+            raise KernelCError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def expect(self, token: str):
+        got = self.next()
+        if got != token:
+            raise KernelCError(f"expected {token!r}, got {got!r}")
+        return got
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self._pos += 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+
+class _Compiler:
+    """Single-pass recursive-descent compiler to the kernel IR."""
+
+    _BUILTIN_INTRINSICS = {
+        "min": min,
+        "max": max,
+        "abs": abs,
+    }
+
+    def __init__(self, source: str, intrinsics: "dict | None" = None):
+        self.tokens = _Tokens(_tokenize(source))
+        self.intrinsics = dict(self._BUILTIN_INTRINSICS)
+        self.intrinsics.update(intrinsics or {})
+        self.builder: "KernelBuilder | None" = None
+        self.streams = {}
+        self.variables = {}  # name -> current Op
+        self.declared = {}  # name -> init literal value
+        self._carries = {}  # name -> carry read Op
+        self._in_loop = False
+        self._loop_assigned = set()
+
+    # ------------------------------------------------------------------
+    def compile(self) -> tuple:
+        t = self.tokens
+        t.expect("kernel")
+        name = t.next()
+        self.builder = KernelBuilder(name)
+        t.expect("(")
+        while not t.accept(")"):
+            self._parse_param()
+            t.accept(",")
+        t.expect("{")
+        while not t.accept("}"):
+            if t.peek() in ("int", "float"):
+                self._parse_declaration()
+            elif t.peek() == "while":
+                self._parse_loop()
+            else:
+                self._parse_statement()
+        if not t.exhausted:
+            raise KernelCError(f"trailing tokens after kernel: {t.peek()!r}")
+        for var, carry in self._carries.items():
+            self.builder.update(carry, self.variables[var])
+        return self.builder.build(), dict(self.streams)
+
+    # ------------------------------------------------------------------
+    def _parse_param(self) -> None:
+        t = self.tokens
+        stream_type = t.next()
+        if stream_type not in _STREAM_TYPES:
+            raise KernelCError(f"unknown stream type {stream_type!r}")
+        t.expect("<")
+        t.next()  # element type; records are single words in this subset
+        t.expect(">")
+        name = t.next()
+        declare = getattr(self.builder, stream_type)
+        self.streams[name] = declare(name)
+
+    def _parse_declaration(self) -> None:
+        t = self.tokens
+        t.next()  # int | float
+        while True:
+            name = t.next()
+            init = 0
+            if t.accept("="):
+                literal = t.next()
+                negative = literal == "-"
+                if negative:
+                    literal = t.next()
+                init = float(literal) if "." in literal else int(literal, 0)
+                if negative:
+                    init = -init
+            self.declared[name] = init
+            if not t.accept(","):
+                break
+        t.expect(";")
+
+    def _parse_loop(self) -> None:
+        t = self.tokens
+        if self._in_loop:
+            raise KernelCError("nested loops are not supported")
+        t.expect("while")
+        t.expect("(")
+        t.expect("!")
+        t.expect("eos")
+        t.expect("(")
+        stream = t.next()
+        if stream not in self.streams:
+            raise KernelCError(f"eos() of unknown stream {stream!r}")
+        t.expect(")")
+        t.expect(")")
+        t.expect("{")
+        self._in_loop = True
+        while not t.accept("}"):
+            if t.peek() == "while":
+                raise KernelCError("nested loops are not supported")
+            if t.peek() in ("int", "float"):
+                self._parse_declaration()
+            else:
+                self._parse_statement()
+        self._in_loop = False
+
+    # ------------------------------------------------------------------
+    def _parse_statement(self) -> None:
+        t = self.tokens
+        name = t.next()
+        if name in self.streams:
+            stream = self.streams[name]
+            if t.accept("["):
+                index = self._expression()
+                t.expect("]")
+                if t.accept(">>"):
+                    target = t.next()
+                    self._assign(
+                        target,
+                        self.builder.idx_read(stream, index, name=target),
+                    )
+                else:
+                    t.expect("<<")
+                    value = self._expression()
+                    self.builder.idx_write(stream, index, value)
+            elif t.accept(">>"):
+                target = t.next()
+                self._assign(target, self.builder.read(stream, name=target))
+            else:
+                t.expect("<<")
+                self.builder.write(stream, self._expression())
+            t.expect(";")
+            return
+        # Plain assignment: name = expr ;
+        t.expect("=")
+        self._assign(name, self._expression())
+        t.expect(";")
+
+    def _assign(self, name: str, value) -> None:
+        if name not in self.declared and name not in self.variables:
+            raise KernelCError(f"assignment to undeclared variable {name!r}")
+        self.variables[name] = value
+        if self._in_loop:
+            self._loop_assigned.add(name)
+
+    def _read_variable(self, name: str):
+        if name in self.variables and (
+            not self._in_loop or name in self._loop_assigned
+            or name in self._carries
+        ):
+            return self.variables[name]
+        if name in self._carries:
+            return self.variables[name]
+        if name in self.declared:
+            if self._in_loop:
+                # Read-before-write inside the loop: loop-carried state.
+                carry = self.builder.carry(self.declared[name], name)
+                self._carries[name] = carry
+                self.variables[name] = carry
+                return carry
+            value = self.builder.const(self.declared[name], name=name)
+            self.variables[name] = value
+            return value
+        if name in self.variables:
+            return self.variables[name]
+        raise KernelCError(f"use of undeclared variable {name!r}")
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    _BINARY_LEVELS = [
+        ("||",), ("&&",), ("|",), ("^",), ("&",),
+        ("==", "!="), ("<", "<=", ">", ">="), ("<<", ">>"),
+        ("+", "-"), ("*", "/", "%"),
+    ]
+
+    _LOGIC_FNS = {
+        "||": lambda a, b: 1 if (a or b) else 0,
+        "&&": lambda a, b: 1 if (a and b) else 0,
+        "|": lambda a, b: int(a) | int(b),
+        "^": lambda a, b: int(a) ^ int(b),
+        "&": lambda a, b: int(a) & int(b),
+        "==": lambda a, b: 1 if a == b else 0,
+        "!=": lambda a, b: 1 if a != b else 0,
+        "<": lambda a, b: 1 if a < b else 0,
+        "<=": lambda a, b: 1 if a <= b else 0,
+        ">": lambda a, b: 1 if a > b else 0,
+        ">=": lambda a, b: 1 if a >= b else 0,
+        "<<": lambda a, b: int(a) << int(b),
+        ">>": lambda a, b: int(a) >> int(b),
+        "%": lambda a, b: a % b,
+    }
+
+    def _expression(self):
+        return self._ternary()
+
+    def _ternary(self):
+        condition = self._binary(0)
+        if self.tokens.accept("?"):
+            if_true = self._expression()
+            self.tokens.expect(":")
+            if_false = self._expression()
+            return self.builder.select(condition, if_true, if_false)
+        return condition
+
+    def _binary(self, level: int):
+        if level >= len(self._BINARY_LEVELS):
+            return self._unary()
+        operators = self._BINARY_LEVELS[level]
+        left = self._binary(level + 1)
+        while self.tokens.peek() in operators:
+            # '>>' as a shift is ambiguous with stream reads only in
+            # statement position, which is handled before expressions.
+            op = self.tokens.next()
+            right = self._binary(level + 1)
+            left = self._apply(op, left, right)
+        return left
+
+    def _apply(self, op: str, left, right):
+        b = self.builder
+        if op == "+":
+            return b.add(left, right)
+        if op == "-":
+            return b.sub(left, right)
+        if op == "*":
+            return b.mul(left, right)
+        if op == "/":
+            return b.div(left, right)
+        return b.logic(self._LOGIC_FNS[op], left, right, name=f"op{op}")
+
+    def _unary(self):
+        t = self.tokens
+        if t.accept("-"):
+            return self.builder.logic(lambda a: -a, self._unary(), name="neg")
+        if t.accept("!"):
+            return self.builder.logic(
+                lambda a: 0 if a else 1, self._unary(), name="not"
+            )
+        if t.accept("~"):
+            return self.builder.logic(
+                lambda a: ~int(a), self._unary(), name="bnot"
+            )
+        return self._primary()
+
+    def _primary(self):
+        t = self.tokens
+        token = t.next()
+        if token == "(":
+            inner = self._expression()
+            t.expect(")")
+            return inner
+        if re.fullmatch(r"\d+\.\d*|\.\d+|\d+|0x[0-9a-fA-F]+", token):
+            value = float(token) if "." in token else int(token, 0)
+            return self.builder.const(value)
+        if t.peek() == "(":
+            return self._call(token)
+        if token in self.streams:
+            raise KernelCError(
+                f"stream {token!r} used as a value (use '>>'/'<<')"
+            )
+        return self._read_variable(token)
+
+    def _call(self, name: str):
+        t = self.tokens
+        t.expect("(")
+        args = []
+        while not t.accept(")"):
+            args.append(self._expression())
+            t.accept(",")
+        if name == "comm":
+            if len(args) != 2:
+                raise KernelCError("comm(value, source_lane) takes 2 args")
+            return self.builder.comm(args[0], args[1])
+        if name == "laneid":
+            if args:
+                raise KernelCError("laneid() takes no arguments")
+            return self.builder.laneid()
+        if name == "select":
+            if len(args) != 3:
+                raise KernelCError("select(cond, a, b) takes 3 args")
+            return self.builder.select(*args)
+        if name not in self.intrinsics:
+            raise KernelCError(f"unknown intrinsic {name!r}")
+        return self.builder.arith(self.intrinsics[name], *args, name=name)
+
+
+def compile_kernelc(source: str, intrinsics: "dict | None" = None) -> tuple:
+    """Compile KernelC source to ``(Kernel, {name: KernelStream})``.
+
+    ``intrinsics`` maps function names used in the source to Python
+    callables (the functional payloads of the generated ALU ops) — the
+    stand-in for KernelC's scalar function bodies.
+    """
+    return _Compiler(source, intrinsics).compile()

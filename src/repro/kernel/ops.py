@@ -1,0 +1,88 @@
+"""Operation vocabulary of the kernel IR.
+
+Each cluster of the simulated machine has the Table 3 execution
+resources: 4 fully pipelined ALUs supporting integer and floating-point
+add and multiply, one unpipelined divider, a port to the inter-cluster
+network, and access to the stream buffers. Every IR operation names an
+:class:`OpKind`, and :data:`OP_SPECS` maps kinds to the functional-unit
+class, latency, and pipelining behaviour the scheduler must respect.
+
+Latencies follow the Imagine-class numbers the paper's toolchain used:
+short pipelined arithmetic, a long blocking divide, and a few cycles for
+an inter-cluster hop. The address-to-data latency of an indexed SRF read
+is *not* a property of the issue op — it is the schedule-time
+separation knob studied in Section 5.4, applied to the issue->data edge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ResourceClass(enum.Enum):
+    """Per-cluster functional-unit classes a slot can occupy."""
+
+    ALU = "alu"
+    DIVIDER = "divider"
+    STREAM_PORT = "stream_port"  # stream-buffer access slot
+    COMM = "comm"  # inter-cluster network send port
+    INDEX_PORT = "index_port"  # per-indexed-stream address FIFO port
+    NONE = "none"  # consumes no issue resource (constants, carries)
+
+
+class OpKind(enum.Enum):
+    """All IR operation kinds."""
+
+    CONST = "const"
+    LANEID = "laneid"  # the cluster's lane number (free, like a register)
+    CARRY = "carry"  # loop-carried register read (phi)
+    ARITH = "arith"  # generic ALU op with a functional payload
+    LOGIC = "logic"  # single-cycle ALU op (XOR, AND, shifts, extracts)
+    MUL = "mul"
+    DIV = "div"
+    SEQ_READ = "seq_read"  # pop one word/lane from a sequential stream
+    SEQ_WRITE = "seq_write"  # push one word/lane to a sequential stream
+    IDX_ISSUE = "idx_issue"  # push a record address into an address FIFO
+    IDX_DATA = "idx_data"  # pop the corresponding data word(s)
+    IDX_WRITE = "idx_write"  # indexed store (address + data into FIFO)
+    COMM = "comm"  # inter-cluster permutation/broadcast
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Scheduling attributes of one op kind."""
+
+    kind: OpKind
+    resource: ResourceClass
+    latency: int
+    pipelined: bool = True
+
+    @property
+    def reserved_cycles(self) -> int:
+        """Cycles the functional unit is held (latency if unpipelined)."""
+        return self.latency if not self.pipelined else 1
+
+
+#: Inter-cluster hop latency (crossbar traversal, paper §4.5 context).
+COMM_LATENCY = 4
+
+OP_SPECS = {
+    OpKind.CONST: OpSpec(OpKind.CONST, ResourceClass.NONE, 0),
+    OpKind.LANEID: OpSpec(OpKind.LANEID, ResourceClass.NONE, 0),
+    OpKind.CARRY: OpSpec(OpKind.CARRY, ResourceClass.NONE, 0),
+    OpKind.ARITH: OpSpec(OpKind.ARITH, ResourceClass.ALU, 2),
+    OpKind.LOGIC: OpSpec(OpKind.LOGIC, ResourceClass.ALU, 1),
+    OpKind.MUL: OpSpec(OpKind.MUL, ResourceClass.ALU, 4),
+    OpKind.DIV: OpSpec(OpKind.DIV, ResourceClass.DIVIDER, 16, pipelined=False),
+    OpKind.SEQ_READ: OpSpec(OpKind.SEQ_READ, ResourceClass.STREAM_PORT, 1),
+    OpKind.SEQ_WRITE: OpSpec(OpKind.SEQ_WRITE, ResourceClass.STREAM_PORT, 1),
+    OpKind.IDX_ISSUE: OpSpec(OpKind.IDX_ISSUE, ResourceClass.INDEX_PORT, 1),
+    OpKind.IDX_DATA: OpSpec(OpKind.IDX_DATA, ResourceClass.STREAM_PORT, 1),
+    OpKind.IDX_WRITE: OpSpec(OpKind.IDX_WRITE, ResourceClass.INDEX_PORT, 1),
+    OpKind.COMM: OpSpec(OpKind.COMM, ResourceClass.COMM, COMM_LATENCY),
+}
+
+
+def spec_of(kind: OpKind) -> OpSpec:
+    return OP_SPECS[kind]

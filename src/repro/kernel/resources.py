@@ -1,0 +1,95 @@
+"""Per-cluster execution resources for the modulo scheduler.
+
+Table 3 / Section 5: "All machine configurations assume 4 fully
+pipelined functional units which support integer and floating-point add
+and multiply ops, and a single unpipelined divider unit per lane."
+Stream-buffer access and the inter-cluster network port are also
+per-cycle resources, and each indexed stream owns one address-FIFO port
+(the paper's one-access-per-stream-per-cycle limit, §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.machine import MachineConfig
+from repro.errors import ScheduleError
+from repro.kernel.ir import Kernel
+from repro.kernel.ops import OpKind, ResourceClass
+
+
+@dataclass(frozen=True)
+class ClusterResources:
+    """Issue-slot counts per cluster per cycle."""
+
+    alus: int = 4
+    dividers: int = 1
+    #: Simultaneous stream-buffer accesses per cluster per cycle
+    #: ("may access multiple stream buffers at once", §4.3).
+    stream_ports: int = 4
+    comm_ports: int = 1
+
+    @classmethod
+    def from_config(cls, config: MachineConfig) -> "ClusterResources":
+        return cls(
+            alus=config.alus_per_cluster,
+            dividers=config.dividers_per_cluster,
+        )
+
+    def count(self, key) -> int:
+        """Units available for a resource key.
+
+        Keys are either a :class:`ResourceClass` or, for index ports,
+        the tuple ``(ResourceClass.INDEX_PORT, stream_name)``.
+        """
+        if isinstance(key, tuple):
+            if key[0] is ResourceClass.INDEX_PORT:
+                return 1
+            raise ScheduleError(f"unknown resource key {key!r}")
+        if key is ResourceClass.ALU:
+            return self.alus
+        if key is ResourceClass.DIVIDER:
+            return self.dividers
+        if key is ResourceClass.STREAM_PORT:
+            return self.stream_ports
+        if key is ResourceClass.COMM:
+            return self.comm_ports
+        raise ScheduleError(f"unknown resource key {key!r}")
+
+
+def resource_key(op):
+    """Reservation-table key of one op, or None if it needs no slot."""
+    resource = op.spec.resource
+    if resource is ResourceClass.NONE:
+        return None
+    if resource is ResourceClass.INDEX_PORT:
+        return (ResourceClass.INDEX_PORT, op.stream.name)
+    return resource
+
+
+def resource_usage(kernel: Kernel) -> dict:
+    """Reserved cycles per resource key over one iteration."""
+    usage = {}
+    for op in kernel.ops:
+        key = resource_key(op)
+        if key is None:
+            continue
+        usage[key] = usage.get(key, 0) + op.spec.reserved_cycles
+    return usage
+
+
+def min_ii_resources(kernel: Kernel, resources: ClusterResources) -> int:
+    """ResMII: the resource-constrained lower bound on the II."""
+    bound = 1
+    for key, used in resource_usage(kernel).items():
+        units = resources.count(key)
+        bound = max(bound, -(-used // units))
+    # Ops whose unpipelined reservation exceeds the II can never fit.
+    for op in kernel.ops:
+        bound = max(bound, op.spec.reserved_cycles)
+    return bound
+
+
+#: Which op kinds create comm-network activity (used by the executor to
+#: mark inter-cluster-busy cycles for the cross-lane return network).
+COMM_KINDS = (OpKind.COMM,)

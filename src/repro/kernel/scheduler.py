@@ -1,0 +1,224 @@
+"""Iterative modulo scheduler.
+
+Stand-in for the Imagine communication scheduler ([19] Mattson) used by
+the paper (§5.1). The algorithm is classic modulo scheduling:
+
+1. **ResMII** — resource-constrained lower bound: for each functional
+   unit class, reserved cycles per iteration divided by unit count.
+2. **RecMII** — recurrence-constrained lower bound: the smallest II such
+   that every dependence cycle satisfies ``latency_sum <= II *
+   distance_sum``. Found by binary search with Bellman–Ford positive-
+   cycle detection over edges weighted ``latency - II * distance``.
+3. Starting at ``max(ResMII, RecMII)``, ops are placed in topological
+   (program) order at their earliest feasible slot, searching one full
+   II window in the modulo reservation table; loop-carried (back-edge)
+   constraints are verified after placement, and the II is increased on
+   failure.
+
+Because indexed reads contribute their address-data *separation* as the
+issue->data edge latency, kernels with loop-carried dependences through
+index computation (Rijndael, Sort) see their II — the static loop
+length of Figure 14 — grow with separation, while software-pipelinable
+kernels (FFT, Filter, IGraph) keep a flat II and only grow in pipeline
+depth. That is precisely the behaviour Section 5.4 measures.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.kernel.ir import Kernel
+from repro.kernel.ops import OpKind  # noqa: F401 (used in _stream_group)
+from repro.kernel.resources import (
+    ClusterResources,
+    min_ii_resources,
+    resource_key,
+)
+from repro.kernel.schedule import StaticSchedule
+
+#: Hard cap on the II search to guarantee termination.
+MAX_II = 4096
+
+
+def min_ii_recurrence(kernel: Kernel, inlane_separation: int,
+                      crosslane_separation: int,
+                      stream_capacity_words: int = 8) -> int:
+    """RecMII: smallest II compatible with every dependence cycle."""
+    edges = kernel.dependence_edges(
+        inlane_separation, crosslane_separation, stream_capacity_words
+    )
+    cyclic = [e for e in edges if e.distance > 0]
+    if not cyclic:
+        return 1
+    low, high = 1, MAX_II
+    if _has_positive_cycle(kernel, edges, high):
+        raise ScheduleError(
+            f"{kernel.name}: recurrence cannot be satisfied below II={MAX_II}"
+        )
+    while low < high:
+        mid = (low + high) // 2
+        if _has_positive_cycle(kernel, edges, mid):
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def _has_positive_cycle(kernel: Kernel, edges, ii: int) -> bool:
+    """Bellman–Ford check: does any cycle have latency > II * distance?"""
+    distance = {op.op_id: 0.0 for op in kernel.ops}
+    node_count = len(kernel.ops)
+    for iteration in range(node_count):
+        changed = False
+        for edge in edges:
+            weight = edge.latency - ii * edge.distance
+            candidate = distance[edge.source.op_id] + weight
+            if candidate > distance[edge.sink.op_id] + 1e-9:
+                distance[edge.sink.op_id] = candidate
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+class ModuloScheduler:
+    """Schedules kernels onto one cluster's resources."""
+
+    def __init__(self, resources: "ClusterResources | None" = None):
+        self.resources = resources or ClusterResources()
+
+    def schedule(self, kernel: Kernel, inlane_separation: int = 6,
+                 crosslane_separation: int = 20,
+                 stream_capacity_words: int = 8) -> StaticSchedule:
+        """Produce a legal modulo schedule for ``kernel``."""
+        kernel.validate()
+        edges = kernel.dependence_edges(
+            inlane_separation, crosslane_separation, stream_capacity_words
+        )
+        ii = max(
+            min_ii_resources(kernel, self.resources),
+            min_ii_recurrence(kernel, inlane_separation,
+                              crosslane_separation, stream_capacity_words),
+        )
+        while ii <= MAX_II:
+            slots = self._try_place(kernel, edges, ii)
+            if slots is not None:
+                return self._finish(
+                    kernel, ii, slots, inlane_separation, crosslane_separation
+                )
+            ii += 1
+        raise ScheduleError(
+            f"{kernel.name}: no schedule found up to II={MAX_II}"
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stream_group(op) -> "tuple | None":
+        """Ordering-group key for per-stream FIFO semantics.
+
+        Sequential stream buffers and address FIFOs deliver strictly in
+        access order, so all ops of a group must be placed monotonically
+        and span at most one II: otherwise a software-pipelined
+        iteration's late access would interleave with the next
+        iteration's early access and scramble the stream. IDX_ISSUE and
+        IDX_WRITE share a group because they share the address FIFO.
+        """
+        if op.kind in (OpKind.SEQ_READ, OpKind.SEQ_WRITE, OpKind.IDX_DATA):
+            return (op.kind, op.stream.name)
+        if op.kind in (OpKind.IDX_ISSUE, OpKind.IDX_WRITE):
+            return ("fifo", op.stream.name)
+        return None
+
+    def _try_place(self, kernel: Kernel, edges, ii: int) -> "dict | None":
+        """One placement attempt at a fixed II; None on failure."""
+        forward = {}  # sink_id -> list of (source_id, latency, distance)
+        for edge in edges:
+            forward.setdefault(edge.sink.op_id, []).append(
+                (edge.source.op_id, edge.latency, edge.distance)
+            )
+
+        def earliest_from_deps(op, placed_slots):
+            earliest = 0
+            for source_id, latency, distance in forward.get(op.op_id, ()):
+                if source_id in placed_slots:
+                    earliest = max(
+                        earliest,
+                        placed_slots[source_id] + latency - ii * distance,
+                    )
+            return earliest
+
+        # ASAP pre-pass (no resources): group floors ensure a stream
+        # group's last member can still be within II of its first.
+        asap = {}
+        for op in kernel.ops:
+            asap[op.op_id] = earliest_from_deps(op, asap)
+        group_floor = {}
+        for op in kernel.ops:
+            group = self._stream_group(op)
+            if group is not None:
+                floor = max(0, asap[op.op_id] - ii)
+                group_floor[group] = max(group_floor.get(group, 0), floor)
+
+        reservations = {}  # key -> occupied slots mod ii
+        slots = {}
+        group_first = {}
+        group_last = {}
+        for op in kernel.ops:  # program order is topological (fwd edges)
+            earliest = earliest_from_deps(op, slots)
+            group = self._stream_group(op)
+            if group is not None:
+                earliest = max(earliest, group_floor.get(group, 0))
+                if group in group_last:
+                    earliest = max(earliest, group_last[group])
+            placed = self._place_in_window(op, earliest, ii, reservations)
+            if placed is None:
+                return None
+            if group is not None:
+                first = group_first.setdefault(group, placed)
+                if placed - first > ii:
+                    return None  # stream span exceeds one iteration
+                group_last[group] = placed
+            slots[op.op_id] = placed
+        # Verify loop-carried constraints (sources placed after sinks).
+        for edge in edges:
+            lhs = slots[edge.sink.op_id] - slots[edge.source.op_id]
+            if lhs < edge.latency - ii * edge.distance:
+                return None
+        return slots
+
+    def _place_in_window(self, op, earliest: int, ii: int,
+                         reservations: dict) -> "int | None":
+        key = resource_key(op)
+        if key is None:
+            return max(earliest, 0)
+        units = self.resources.count(key)
+        occupied = reservations.setdefault(key, {})
+        hold = op.spec.reserved_cycles
+        for offset in range(ii):
+            slot = max(earliest, 0) + offset
+            cells = [(slot + k) % ii for k in range(min(hold, ii))]
+            if hold > ii:
+                return None  # unpipelined op cannot fit this II
+            if all(occupied.get(cell, 0) < units for cell in cells):
+                for cell in cells:
+                    occupied[cell] = occupied.get(cell, 0) + 1
+                return slot
+        return None
+
+    @staticmethod
+    def _finish(kernel, ii, slots, inlane_separation, crosslane_separation):
+        depth = 0
+        comm_slots = set()
+        for op in kernel.ops:
+            slot = slots[op.op_id]
+            depth = max(depth, slot + max(op.spec.latency, 1))
+            if op.kind is OpKind.COMM:
+                comm_slots.add(slot % ii)
+        return StaticSchedule(
+            kernel=kernel,
+            ii=ii,
+            slots=slots,
+            depth=depth,
+            inlane_separation=inlane_separation,
+            crosslane_separation=crosslane_separation,
+            comm_slots=frozenset(comm_slots),
+        )

@@ -1,0 +1,27 @@
+"""Machine-level simulation: processor, kernel executor, stream programs."""
+
+from repro.machine.diagnostics import (
+    KernelBounds,
+    analyze_schedule,
+    diagnose_kernel_run,
+    diagnose_program,
+)
+from repro.machine.executor import KERNEL_STARTUP_CYCLES, KernelExecutor
+from repro.machine.processor import StreamProcessor
+from repro.machine.program import KernelInvocation, StreamProgram, StreamTask
+from repro.machine.stats import KernelRunStats, ProgramStats
+
+__all__ = [
+    "KERNEL_STARTUP_CYCLES",
+    "KernelBounds",
+    "analyze_schedule",
+    "diagnose_kernel_run",
+    "diagnose_program",
+    "KernelExecutor",
+    "KernelInvocation",
+    "KernelRunStats",
+    "ProgramStats",
+    "StreamProcessor",
+    "StreamProgram",
+    "StreamTask",
+]

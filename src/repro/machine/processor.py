@@ -1,0 +1,175 @@
+"""The top-level stream processor simulator.
+
+Ties the substrates together exactly as in Figure 2 / Figure 8 of the
+paper: N lanes of SRF bank + compute cluster, a stream memory system
+sharing the SRF port, optional cache, and a single kernel
+microcontroller. :meth:`StreamProcessor.run_program` executes a
+stream-level task graph cycle by cycle:
+
+* ready memory transfers are issued immediately and proceed concurrently
+  (latency hiding, §2);
+* kernels run one at a time on the cluster array via
+  :class:`~repro.machine.executor.KernelExecutor`;
+* cycles with no kernel running are charged to *memory stall* when
+  transfers are in flight (Figure 12's category), else to idle.
+
+The processor is long-lived: benchmarks allocate SRF space and main
+memory once, then run per-strip programs back to back, which is how the
+paper's "software pipelined loops" steady state is measured.
+"""
+
+from __future__ import annotations
+
+from repro.config.machine import MachineConfig
+from repro.core.srf import StreamRegisterFile
+from repro.errors import ExecutionError
+from repro.kernel.ir import Kernel
+from repro.kernel.resources import ClusterResources
+from repro.kernel.schedule import StaticSchedule
+from repro.kernel.scheduler import ModuloScheduler
+from repro.machine.executor import KernelExecutor
+from repro.machine.program import StreamProgram
+from repro.machine.stats import ProgramStats
+from repro.memory.controller import MemoryController
+from repro.memory.mainmem import MainMemory
+
+#: Abort knob: a program making no forward progress for this many cycles
+#: is declared deadlocked (a bug in the program or the model).
+DEADLOCK_CYCLES = 200_000
+
+
+class StreamProcessor:
+    """A complete simulated machine built from a :class:`MachineConfig`."""
+
+    def __init__(self, config: MachineConfig):
+        config.validate()
+        self.config = config
+        self.srf = StreamRegisterFile(config)
+        self.memory = MainMemory(row_words=config.dram_row_words)
+        self.controller = MemoryController(config, self.srf, self.memory)
+        self.scheduler = ModuloScheduler(ClusterResources.from_config(config))
+        self.cycle = 0
+        self._schedule_cache = {}
+
+    # ------------------------------------------------------------------
+    def schedule_kernel(self, kernel: Kernel) -> StaticSchedule:
+        """Schedule (and cache) a kernel with this machine's separations."""
+        key = (
+            id(kernel),
+            self.config.inlane_addr_data_separation,
+            self.config.crosslane_addr_data_separation,
+        )
+        if key not in self._schedule_cache:
+            self._schedule_cache[key] = self.scheduler.schedule(
+                kernel,
+                inlane_separation=self.config.inlane_addr_data_separation,
+                crosslane_separation=self.config.crosslane_addr_data_separation,
+                stream_capacity_words=self.config.stream_buffer_words,
+            )
+        return self._schedule_cache[key]
+
+    # ------------------------------------------------------------------
+    def run_program(self, program: StreamProgram) -> ProgramStats:
+        """Execute a stream program to completion; returns its stats."""
+        program.validate()
+        stats = ProgramStats(name=program.name)
+        start_cycle = self.cycle
+        start_traffic = self.controller.offchip_traffic_words
+
+        completed = set()
+        issued_memory = set()
+        running = None  # (task, executor, srf-stat snapshot)
+        remaining = list(program.tasks)
+        last_progress_cycle = self.cycle
+
+        while remaining or running is not None:
+            progressed = False
+
+            # Issue every ready memory transfer.
+            for task in remaining:
+                if task.is_kernel or task.task_id in issued_memory:
+                    continue
+                if all(dep in completed for dep in task.deps):
+                    self.controller.issue(task.work, self.cycle)
+                    issued_memory.add(task.task_id)
+                    progressed = True
+
+            # Start the next ready kernel (one at a time).
+            if running is None:
+                for task in remaining:
+                    if not task.is_kernel:
+                        continue
+                    if all(dep in completed for dep in task.deps):
+                        schedule = self.schedule_kernel(task.work.kernel)
+                        executor = KernelExecutor(
+                            self.config, self.srf, task.work, schedule
+                        )
+                        running = (task, executor, self._srf_snapshot())
+                        progressed = True
+                        break
+
+            # One machine cycle.
+            self.controller.tick(self.cycle)
+            comm_busy = False
+            if running is not None:
+                comm_busy = running[1].step()
+            self.srf.tick(self.cycle, comm_busy)
+
+            if running is None:
+                if self.controller.busy:
+                    stats.memory_stall_cycles += 1
+                elif remaining:
+                    stats.idle_cycles += 1
+
+            # Retire finished work.
+            if running is not None and running[1].finished:
+                task, executor, snapshot = running
+                self._finish_kernel(executor, snapshot)
+                stats.kernel_runs.append(executor.stats)
+                completed.add(task.task_id)
+                remaining.remove(task)
+                running = None
+                progressed = True
+            for task in list(remaining):
+                if not task.is_kernel and self.controller.is_complete(
+                    task.work.op_id
+                ):
+                    completed.add(task.task_id)
+                    remaining.remove(task)
+                    progressed = True
+
+            self.cycle += 1
+            if progressed:
+                last_progress_cycle = self.cycle
+            elif self.cycle - last_progress_cycle > DEADLOCK_CYCLES:
+                raise ExecutionError(
+                    f"{program.name}: no progress for {DEADLOCK_CYCLES} "
+                    f"cycles ({len(remaining)} tasks left)"
+                )
+
+        stats.total_cycles = self.cycle - start_cycle
+        stats.offchip_words = (
+            self.controller.offchip_traffic_words - start_traffic
+        )
+        return stats
+
+    def run_programs(self, programs) -> list:
+        """Run several programs back to back; returns their stats."""
+        return [self.run_program(program) for program in programs]
+
+    # ------------------------------------------------------------------
+    def _srf_snapshot(self) -> tuple:
+        s = self.srf.stats
+        return (
+            s.sequential_words, s.inlane_grants, s.crosslane_grants,
+            s.indexed_write_grants,
+        )
+
+    def _finish_kernel(self, executor: KernelExecutor, snapshot) -> None:
+        s = self.srf.stats
+        executor.stats.sequential_words = s.sequential_words - snapshot[0]
+        executor.stats.inlane_words = s.inlane_grants - snapshot[1]
+        executor.stats.crosslane_words = s.crosslane_grants - snapshot[2]
+        executor.stats.indexed_write_words = (
+            s.indexed_write_grants - snapshot[3]
+        )

@@ -1,0 +1,150 @@
+"""Stream-level programs: the instruction stream of the stream controller.
+
+A benchmark is a partial order of *stream tasks* — whole-stream memory
+transfers and kernel invocations (paper Section 2). Dependencies express
+data flow (a kernel waits for its input loads; a store waits for the
+kernel that produced its data), and everything else overlaps: memory
+transfers run concurrently with kernel execution, which is how stream
+processors hide memory latency. Kernels serialise on the single
+microcontroller.
+
+Applications build a :class:`StreamProgram` per outer-loop iteration
+(per strip / per data set); the paper's steady-state software-pipelined
+execution is obtained by chaining several program instances with
+cross-instance dependencies (see :meth:`StreamProgram.then`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.kernel.ir import Kernel
+from repro.memory.ops import StreamMemoryOp
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class KernelInvocation:
+    """One kernel run: graph + stream bindings + trip count.
+
+    ``bindings`` maps each formal :class:`~repro.kernel.ir.KernelStream`
+    name to a concrete :class:`~repro.core.descriptors.StreamDescriptor`.
+    ``iterations`` is the lock-step trip count (the maximum over lanes);
+    ``useful_iterations`` optionally gives each lane's useful count so
+    load imbalance can be attributed to kernel overhead as in Figure 12.
+    """
+
+    kernel: Kernel
+    bindings: dict
+    iterations: int
+    useful_iterations: "list | None" = None
+    name: str = ""
+    #: Optional hook run when the kernel starts (after stream binding,
+    #: before the first iteration). Used by apps to materialise
+    #: compile-time-known data layouts (e.g. the constant-geometry pair
+    #: ordering of FFT stages) without affecting timing.
+    on_start: "object | None" = None
+    #: Optional hook run when the kernel finishes (after output drain).
+    on_finish: "object | None" = None
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise ExecutionError("negative iteration count")
+        if not self.name:
+            self.name = self.kernel.name
+        for stream_name in self.kernel.streams:
+            if stream_name not in self.bindings:
+                raise ExecutionError(
+                    f"{self.name}: stream {stream_name!r} not bound"
+                )
+        if self.useful_iterations is not None:
+            if any(u > self.iterations for u in self.useful_iterations):
+                raise ExecutionError(
+                    f"{self.name}: useful iterations exceed trip count"
+                )
+
+    @property
+    def mean_useful_iterations(self) -> float:
+        if self.useful_iterations is None:
+            return float(self.iterations)
+        return sum(self.useful_iterations) / len(self.useful_iterations)
+
+
+@dataclass
+class StreamTask:
+    """A node of the stream-level dependence graph."""
+
+    task_id: int
+    work: object  # StreamMemoryOp | KernelInvocation
+    deps: list = field(default_factory=list)  # of task_id
+
+    @property
+    def is_kernel(self) -> bool:
+        return isinstance(self.work, KernelInvocation)
+
+    @property
+    def name(self) -> str:
+        if self.is_kernel:
+            return self.work.name
+        return self.work.describe()
+
+
+class StreamProgram:
+    """An executable partial order of stream tasks."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.tasks = []
+        self._ids = set()
+
+    def add_memory(self, op: StreamMemoryOp, deps=()) -> int:
+        """Add a stream memory transfer; returns its task id."""
+        return self._add(op, deps)
+
+    def add_kernel(self, invocation: KernelInvocation, deps=()) -> int:
+        """Add a kernel invocation; returns its task id."""
+        return self._add(invocation, deps)
+
+    def _add(self, work, deps) -> int:
+        # Dependencies may reference tasks of an *earlier* program this
+        # one will be chained after (cross-strip buffer guards); full
+        # checking is deferred to validate() on the combined program.
+        task = StreamTask(next(_task_ids), work, list(deps))
+        self.tasks.append(task)
+        self._ids.add(task.task_id)
+        return task.task_id
+
+    def then(self, other: "StreamProgram",
+             join_all: bool = False) -> "StreamProgram":
+        """Concatenate ``other`` after this program.
+
+        Without ``join_all`` the two programs only serialise through
+        shared resources (kernel unit, SRF port, DRAM) — the software-
+        pipelined overlap of §5.3. With ``join_all`` every task of
+        ``other`` additionally waits for every task of this program (a
+        full barrier).
+        """
+        combined = StreamProgram(f"{self.name}+{other.name}")
+        combined.tasks = list(self.tasks)
+        combined._ids = set(self._ids)
+        barrier = [t.task_id for t in self.tasks] if join_all else []
+        for task in other.tasks:
+            merged = StreamTask(task.task_id, task.work,
+                                list(task.deps) + barrier)
+            combined.tasks.append(merged)
+            combined._ids.add(task.task_id)
+        return combined
+
+    def validate(self) -> None:
+        seen = set()
+        for task in self.tasks:
+            for dep in task.deps:
+                if dep not in seen:
+                    raise ExecutionError(
+                        f"{self.name}: task {task.name} depends on a later "
+                        f"or unknown task ({dep})"
+                    )
+            seen.add(task.task_id)

@@ -1,0 +1,158 @@
+"""Stream-level memory operations (paper Section 2).
+
+A single stream instruction loads or stores an entire stream, "and
+therefore a handful of instructions are sufficient to launch enough
+accesses to cover very long memory latencies". Four kinds exist:
+
+* **LOAD** — contiguous memory region -> sequential SRF stream;
+* **STORE** — sequential SRF stream -> contiguous memory region;
+* **GATHER** — arbitrary memory addresses -> sequential SRF stream
+  (indexed load); this is how a machine *without* SRF indexing reorders
+  data through memory;
+* **SCATTER** — sequential SRF stream -> arbitrary memory addresses
+  (indexed store).
+
+An op carries the exact word-address trace it will present to DRAM (or
+the cache, when marked cacheable), so the timing model sees the access
+pattern the benchmark really generates — row-buffer locality and cache
+behaviour are consequences, not parameters.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.descriptors import StreamDescriptor
+from repro.errors import MemorySystemError
+from repro.memory.mainmem import MemoryRegion
+
+
+class MemoryOpKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    GATHER = "gather"
+    SCATTER = "scatter"
+
+    @property
+    def into_srf(self) -> bool:
+        """True when data flows memory -> SRF."""
+        return self in (MemoryOpKind.LOAD, MemoryOpKind.GATHER)
+
+
+_op_ids = itertools.count()
+
+
+@dataclass
+class StreamMemoryOp:
+    """One stream transfer between main memory and the SRF.
+
+    ``mem_addrs`` gives the memory word address of each stream word, in
+    stream order; stream word ``j`` corresponds to SRF global address
+    ``srf.base + j``. ``cacheable`` marks streams with reuse potential —
+    the Cache configuration routes only those through the cache (§5).
+    """
+
+    kind: MemoryOpKind
+    srf: StreamDescriptor
+    mem_addrs: list
+    cacheable: bool = False
+    name: str = ""
+    op_id: int = field(default_factory=lambda: next(_op_ids))
+
+    def __post_init__(self) -> None:
+        if len(self.mem_addrs) > self.srf.length_words:
+            raise MemorySystemError(
+                f"{self.describe()}: {len(self.mem_addrs)} memory words do "
+                f"not fit the {self.srf.length_words}-word SRF stream"
+            )
+        if not self.mem_addrs:
+            raise MemorySystemError(f"{self.describe()}: empty transfer")
+        if not self.name:
+            self.name = f"{self.kind.value}:{self.srf.name}"
+
+    def describe(self) -> str:
+        return self.name or f"{self.kind.value}:{self.srf.name}"
+
+    @property
+    def words(self) -> int:
+        return len(self.mem_addrs)
+
+    @property
+    def into_srf(self) -> bool:
+        return self.kind.into_srf
+
+
+def load_op(
+    srf_stream: StreamDescriptor,
+    region: MemoryRegion,
+    offset: int = 0,
+    words: "int | None" = None,
+    cacheable: bool = False,
+    name: str = "",
+) -> StreamMemoryOp:
+    """Contiguous load: ``region[offset:offset+words]`` -> SRF stream."""
+    words = srf_stream.length_words if words is None else words
+    _check_window(region, offset, words)
+    return StreamMemoryOp(
+        MemoryOpKind.LOAD, srf_stream,
+        list(range(region.base + offset, region.base + offset + words)),
+        cacheable=cacheable, name=name,
+    )
+
+
+def store_op(
+    srf_stream: StreamDescriptor,
+    region: MemoryRegion,
+    offset: int = 0,
+    words: "int | None" = None,
+    cacheable: bool = False,
+    name: str = "",
+) -> StreamMemoryOp:
+    """Contiguous store: SRF stream -> ``region[offset:offset+words]``."""
+    words = srf_stream.length_words if words is None else words
+    _check_window(region, offset, words)
+    return StreamMemoryOp(
+        MemoryOpKind.STORE, srf_stream,
+        list(range(region.base + offset, region.base + offset + words)),
+        cacheable=cacheable, name=name,
+    )
+
+
+def gather_op(
+    srf_stream: StreamDescriptor,
+    region: MemoryRegion,
+    offsets,
+    cacheable: bool = False,
+    name: str = "",
+) -> StreamMemoryOp:
+    """Indexed load: ``region[offsets[j]]`` becomes stream word ``j``."""
+    addrs = [region.addr(int(off)) for off in offsets]
+    return StreamMemoryOp(
+        MemoryOpKind.GATHER, srf_stream, addrs, cacheable=cacheable, name=name
+    )
+
+
+def scatter_op(
+    srf_stream: StreamDescriptor,
+    region: MemoryRegion,
+    offsets,
+    cacheable: bool = False,
+    name: str = "",
+) -> StreamMemoryOp:
+    """Indexed store: stream word ``j`` lands at ``region[offsets[j]]``."""
+    addrs = [region.addr(int(off)) for off in offsets]
+    return StreamMemoryOp(
+        MemoryOpKind.SCATTER, srf_stream, addrs, cacheable=cacheable, name=name
+    )
+
+
+def _check_window(region: MemoryRegion, offset: int, words: int) -> None:
+    if words <= 0:
+        raise MemorySystemError(f"{region.name}: empty transfer window")
+    if offset < 0 or offset + words > region.words:
+        raise MemorySystemError(
+            f"{region.name}: window [{offset},{offset + words}) outside "
+            f"region of {region.words} words"
+        )

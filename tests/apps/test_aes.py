@@ -1,0 +1,128 @@
+"""AES-128 core: FIPS-197 and SP800-38A conformance."""
+
+import pytest
+
+from repro.apps import aes
+from repro.errors import ExecutionError
+
+
+class TestSbox:
+    def test_known_entries(self):
+        # FIPS-197 Figure 7 spot checks.
+        assert aes.SBOX[0x00] == 0x63
+        assert aes.SBOX[0x01] == 0x7C
+        assert aes.SBOX[0x53] == 0xED
+        assert aes.SBOX[0xAB] == 0x62
+        assert aes.SBOX[0xFF] == 0x16
+
+    def test_sbox_is_a_permutation(self):
+        assert sorted(aes.SBOX) == list(range(256))
+
+
+class TestTTables:
+    def test_te0_entry_structure(self):
+        # Te0[x] packs (2*s, s, s, 3*s) for s = SBOX[x].
+        for x in (0, 1, 0x7F, 0xFF):
+            s = aes.SBOX[x]
+            word = aes.TE0[x]
+            assert (word >> 16) & 0xFF == s
+            assert (word >> 8) & 0xFF == s
+
+    def test_tables_are_rotations_of_te0(self):
+        def ror8(w):
+            return ((w >> 8) | (w << 24)) & 0xFFFFFFFF
+
+        for x in range(0, 256, 17):
+            assert aes.TE1[x] == ror8(aes.TE0[x])
+            assert aes.TE2[x] == ror8(aes.TE1[x])
+            assert aes.TE3[x] == ror8(aes.TE2[x])
+
+
+class TestKeyExpansion:
+    def test_fips197_appendix_a1(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        words = aes.expand_key(key)
+        assert len(words) == 44
+        assert words[4] == 0xA0FAFE17
+        assert words[43] == 0xB6630CA6
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(ExecutionError):
+            aes.expand_key(b"short")
+
+
+class TestBlockEncryption:
+    def test_fips197_appendix_b(self):
+        ct = aes.encrypt_block(
+            bytes.fromhex("3243f6a8885a308d313198a2e0370734"),
+            bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"),
+        )
+        assert ct.hex() == "3925841d02dc09fbdc118597196a0b32"
+
+    def test_fips197_appendix_c1(self):
+        ct = aes.encrypt_block(
+            bytes.fromhex("00112233445566778899aabbccddeeff"),
+            bytes.fromhex("000102030405060708090a0b0c0d0e0f"),
+        )
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_wrong_block_length_rejected(self):
+        with pytest.raises(ExecutionError):
+            aes.encrypt_block(b"short", bytes(16))
+
+
+class TestCbc:
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+    def test_sp800_38a_f21_all_four_blocks(self):
+        pt = bytes.fromhex(
+            "6bc1bee22e409f96e93d7e117393172a"
+            "ae2d8a571e03ac9c9eb76fac45af8e51"
+            "30c81c46a35ce411e5fbc1191a0a52ef"
+            "f69f2445df4f9b17ad2b417be66c3710"
+        )
+        expected = (
+            "7649abac8119b246cee98e9b12e9197d"
+            "5086cb9b507219ee95db113a917678b2"
+            "73bed6b8e3c1743b7116e69e22229516"
+            "3ff1caa1681fac09120eca307586e1a7"
+        )
+        assert aes.cbc_encrypt(pt, self.KEY, self.IV).hex() == expected
+
+    def test_chaining_differs_from_ecb(self):
+        pt = bytes(32)
+        ct = aes.cbc_encrypt(pt, self.KEY, self.IV)
+        assert ct[:16] != ct[16:]
+
+    def test_partial_block_rejected(self):
+        with pytest.raises(ExecutionError):
+            aes.cbc_encrypt(b"x" * 17, self.KEY, self.IV)
+
+    def test_bad_iv_rejected(self):
+        with pytest.raises(ExecutionError):
+            aes.cbc_encrypt(bytes(16), self.KEY, b"short")
+
+
+class TestLookupTrace:
+    def test_trace_has_160_lookups(self):
+        rk = aes.expand_key(bytes(16))
+        trace = aes.lookup_trace_block((0, 0, 0, 0), rk)
+        assert len(trace) == aes.LOOKUPS_PER_BLOCK == 160
+
+    def test_trace_tables_and_ranges(self):
+        rk = aes.expand_key(bytes(range(16)))
+        trace = aes.lookup_trace_block((1, 2, 3, 4), rk)
+        main = trace[:144]
+        final = trace[144:]
+        assert all(t in (0, 1, 2, 3) for t, _ in main)
+        assert all(t == 4 for t, _ in final)
+        assert all(0 <= idx < 256 for _, idx in trace)
+
+    def test_trace_reproduces_encryption_lookups(self):
+        # Feeding the traced table values through the XOR structure must
+        # reproduce the ciphertext; sanity: trace is deterministic.
+        rk = aes.expand_key(bytes(16))
+        a = aes.lookup_trace_block((5, 6, 7, 8), rk)
+        b = aes.lookup_trace_block((5, 6, 7, 8), rk)
+        assert a == b

@@ -1,0 +1,141 @@
+"""Unit-level tests of the application building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.fft import bit_reverse, dif_butterflies
+from repro.apps.filter2d import COEFFS, reference_filter
+from repro.apps.igraph import (
+    CHAIN_CONSTANTS,
+    IrregularGraph,
+    chain_value,
+)
+from repro.apps.sort import merge_runs
+from repro.errors import ExecutionError
+
+
+class TestDifButterflies:
+    def test_stage0_pairs_span_half(self):
+        pairs = dif_butterflies(8, 0)
+        assert [(i, j) for i, j, _w in pairs] == [
+            (0, 4), (1, 5), (2, 6), (3, 7)
+        ]
+
+    def test_last_stage_pairs_adjacent(self):
+        # The property the FFT app relies on: the final stage leaves the
+        # array in row-major slot order.
+        n = 16
+        pairs = dif_butterflies(n, 3)
+        assert [(i, j) for i, j, _w in pairs] == [
+            (2 * t, 2 * t + 1) for t in range(n // 2)
+        ]
+
+    @given(st.sampled_from([8, 16, 32, 64]))
+    def test_full_dif_equals_numpy_fft(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        v = x.copy()
+        stages = n.bit_length() - 1
+        for s in range(stages):
+            for i, j, w in dif_butterflies(n, s):
+                a, b = v[i], v[j]
+                v[i] = a + b
+                v[j] = (a - b) * w
+        unscrambled = np.array(
+            [v[bit_reverse(k, stages)] for k in range(n)]
+        )
+        assert np.allclose(unscrambled, np.fft.fft(x))
+
+    def test_out_of_range_stage(self):
+        with pytest.raises(ExecutionError):
+            dif_butterflies(8, 3)
+
+
+class TestBitReverse:
+    def test_known_values(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+        assert bit_reverse(0, 6) == 0
+
+    @given(st.integers(min_value=1, max_value=10), st.data())
+    def test_involution(self, bits, data):
+        value = data.draw(st.integers(min_value=0, max_value=2**bits - 1))
+        assert bit_reverse(bit_reverse(value, bits), bits) == value
+
+
+class TestMergeRuns:
+    def test_single_pass(self):
+        assert merge_runs([3, 1, 4, 2], 1) == [1, 3, 2, 4]
+        assert merge_runs([1, 3, 2, 4], 2) == [1, 2, 3, 4]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=999),
+                    min_size=1, max_size=64))
+    def test_repeated_passes_fully_sort(self, values):
+        length = 1 << max(1, (len(values) - 1)).bit_length()
+        values = (values + [10**6] * length)[:length]
+        run = 1
+        while run < length:
+            values = merge_runs(values, run)
+            run *= 2
+        assert values == sorted(values)
+
+    @given(st.lists(st.integers(), min_size=2, max_size=64),
+           st.sampled_from([1, 2, 4, 8]))
+    def test_pass_preserves_multiset(self, values, run):
+        assert sorted(merge_runs(values, run)) == sorted(values)
+
+
+class TestFilterReference:
+    def test_coefficients_normalised(self):
+        assert COEFFS.sum() == pytest.approx(1.0)
+        assert COEFFS.shape == (5, 5)
+
+    def test_constant_image_maps_to_itself(self):
+        image = np.full((12, 16), 3.5)
+        out = reference_filter(image)
+        assert out.shape == (8, 16)
+        assert np.allclose(out, 3.5)
+
+    def test_impulse_response_is_kernel(self):
+        image = np.zeros((9, 16))
+        image[4, 8] = 1.0
+        out = reference_filter(image)
+        assert np.allclose(out[0:5, 6:11], COEFFS[::-1, ::-1])
+
+
+class TestIrregularGraphUnits:
+    def test_chain_value_deterministic_and_finite(self):
+        for flops in (16, 51):
+            a = chain_value(1.2345, flops)
+            b = chain_value(1.2345, flops)
+            assert a == b
+            assert np.isfinite(a)
+
+    def test_chain_constants_near_one(self):
+        # The chain must not explode over 51 ops.
+        for c in CHAIN_CONSTANTS:
+            assert 0.99 < c < 1.01
+        assert abs(chain_value(1.0, 51)) < 100
+
+    def test_every_node_has_a_neighbor(self):
+        g = IrregularGraph(300, avg_degree=4, seed=3)
+        assert all(len(adj) >= 1 for adj in g.neighbors)
+
+    def test_neighbors_in_range(self):
+        g = IrregularGraph(200, avg_degree=16, seed=4)
+        for adj in g.neighbors:
+            assert all(0 <= u < 200 for u in adj)
+
+    def test_locality_window_respected_roughly(self):
+        g = IrregularGraph(2000, avg_degree=4, seed=5, locality_window=50)
+        for v in range(0, 2000, 97):
+            for u in g.neighbors[v]:
+                assert abs(u - v) <= 50
+
+    def test_reference_updates_shape(self):
+        g = IrregularGraph(50, avg_degree=4, seed=6)
+        updates = g.reference_updates(16)
+        assert len(updates) == 50
+        assert all(np.isfinite(u) for u in updates)

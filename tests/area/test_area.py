@@ -1,0 +1,137 @@
+"""Area model: paper §4.6 overhead targets and structural properties."""
+
+import pytest
+
+from repro.area import (
+    CMOS13,
+    DieModel,
+    EnergyModel,
+    SrfAreaModel,
+    subarray_geometry,
+)
+from repro.config import isrf4_config
+from repro.core.srf import SrfStats
+from repro.errors import ConfigurationError
+from repro.memory.dram import DramStats
+
+
+class TestSubarrayGeometry:
+    def test_4kb_subarray_is_128_by_256(self):
+        assert subarray_geometry(32768) == (128, 256)
+
+    def test_rows_times_columns_covers_bits(self):
+        for bits in (1024, 8192, 32768, 65536):
+            rows, cols = subarray_geometry(bits)
+            assert rows * cols == bits
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            subarray_geometry(0)
+
+
+class TestOverheadTargets:
+    """The paper's §4.6 numbers: 11% / 18% / 22% over sequential."""
+
+    def setup_method(self):
+        self.model = SrfAreaModel()
+        self.report = self.model.overhead_report()
+
+    def test_isrf1_near_11_percent(self):
+        assert 0.09 <= self.report["ISRF1"] <= 0.13
+
+    def test_isrf4_near_18_percent(self):
+        assert 0.15 <= self.report["ISRF4"] <= 0.21
+
+    def test_crosslane_near_22_percent(self):
+        assert 0.19 <= self.report["ISRF4+crosslane"] <= 0.26
+
+    def test_overheads_strictly_ordered(self):
+        assert (self.report["ISRF1"] < self.report["ISRF4"]
+                < self.report["ISRF4+crosslane"])
+
+    def test_isrf4_extra_dominated_by_predecode_and_mux(self):
+        # "Much of the extra overhead of ISRF4 over ISRF1 is in the
+        # additional address busses and per-sub-array predecoders."
+        isrf4 = self.model.isrf4().components
+        added = (
+            isrf4["subarray_predecoders"]
+            + isrf4["indexed_column_mux"]
+            + isrf4["subarray_address_wiring"]
+        )
+        delta = self.model.isrf4().total_um2 - self.model.isrf1().total_um2
+        assert added == pytest.approx(delta)
+
+    def test_crosslane_extra_dominated_by_address_network(self):
+        # "much of the incremental overhead over ISRF4 associated with
+        # the address network."
+        xl = self.model.crosslane().components
+        delta = self.model.crosslane().total_um2 - self.model.isrf4().total_um2
+        assert xl["address_network"] > 0.5 * delta
+
+    def test_cells_dominate_total_area(self):
+        base = self.model.sequential()
+        assert base.components["cells"] > 0.5 * base.total_um2
+
+    def test_config_driven_geometry(self):
+        model = SrfAreaModel(isrf4_config())
+        assert model.banks == 8
+        assert model.subarrays == 4
+        assert model.rows == 128 and model.columns == 256
+
+
+class TestDieModel:
+    def test_die_overheads_match_1_5_to_3_percent(self):
+        rows = {r.variant: r for r in DieModel().report()}
+        assert 0.012 <= rows["ISRF1"].die_overhead <= 0.02
+        assert 0.025 <= rows["ISRF4+crosslane"].die_overhead <= 0.035
+
+    def test_cache_costs_an_order_more_die_area(self):
+        die = DieModel()
+        cache = die.cache_overhead()
+        worst_indexed = max(r.die_overhead for r in die.report())
+        assert cache.die_overhead > 4 * worst_indexed
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DieModel(srf_die_fraction=0.0)
+
+    def test_implied_die_area_plausible(self):
+        # Imagine-class dies were a few hundred mm^2.
+        assert 10 <= DieModel().die_area_mm2 <= 100
+
+
+class TestEnergyModel:
+    def test_indexed_word_is_4x_sequential(self):
+        model = EnergyModel()
+        assert model.indexed_word_nj == pytest.approx(
+            4 * model.sequential_word_nj
+        )
+
+    def test_indexed_access_order_of_magnitude_below_dram(self):
+        # ~0.1 nJ vs ~5 nJ (paper §4.4).
+        model = EnergyModel()
+        assert model.indexed_word_nj == pytest.approx(0.1, rel=0.3)
+        assert model.dram_word_nj == pytest.approx(5.0)
+        assert model.indexed_vs_dram_ratio >= 10
+
+    def test_report_integrates_stats(self):
+        model = EnergyModel()
+        srf = SrfStats(sequential_words=1000, inlane_grants=500)
+        dram = DramStats(read_words=100, write_words=50)
+        report = model.report(srf, dram)
+        assert report.srf_sequential_nj == pytest.approx(
+            1000 * model.sequential_word_nj
+        )
+        assert report.srf_indexed_nj == pytest.approx(
+            500 * model.indexed_word_nj
+        )
+        assert report.dram_nj == pytest.approx(150 * 5.0)
+        assert report.total_nj == pytest.approx(
+            report.srf_sequential_nj + report.srf_indexed_nj + report.dram_nj
+        )
+
+    def test_energy_argument_for_indexing(self):
+        # Moving a Rijndael lookup from DRAM to the SRF should save
+        # roughly 50x energy per lookup.
+        model = EnergyModel()
+        assert model.dram_word_nj / model.indexed_word_nj > 40

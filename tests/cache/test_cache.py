@@ -1,0 +1,120 @@
+"""Banked set-associative LRU cache (Table 3 Cache configuration)."""
+
+import pytest
+
+from repro.cache import BankedCache, LruSet
+from repro.config import base_config, cache_config
+from repro.errors import MemorySystemError
+
+
+class TestLruSet:
+    def test_insert_until_full_then_evict_lru(self):
+        s = LruSet(2)
+        assert s.insert("a") is None
+        assert s.insert("b") is None
+        assert s.victim() == "a"
+        assert s.insert("c") == ("a", False)
+        assert s.resident_tags() == ["b", "c"]
+
+    def test_lookup_promotes_to_mru(self):
+        s = LruSet(2)
+        s.insert("a")
+        s.insert("b")
+        assert s.lookup("a")
+        assert s.insert("c") == ("b", False)
+
+    def test_dirty_eviction_reported(self):
+        s = LruSet(1)
+        s.insert("a")
+        s.mark_dirty("a")
+        assert s.insert("b") == ("a", True)
+
+    def test_double_insert_rejected(self):
+        s = LruSet(2)
+        s.insert("a")
+        with pytest.raises(MemorySystemError):
+            s.insert("a")
+
+    def test_mark_dirty_requires_residency(self):
+        s = LruSet(1)
+        with pytest.raises(MemorySystemError):
+            s.mark_dirty("ghost")
+
+
+class TestBankedCache:
+    def make(self):
+        return BankedCache(cache_config())
+
+    def test_requires_cache_config(self):
+        with pytest.raises(MemorySystemError):
+            BankedCache(base_config())
+
+    def test_geometry_matches_table3(self):
+        cache = self.make()
+        assert cache.line_words == 2
+        assert cache.ways == 4
+        assert cache.banks == 4
+        assert cache.num_sets == 4096
+        # Total capacity: sets * ways * line = 128 KB of 4-byte words.
+        assert cache.num_sets * cache.ways * cache.line_words == 32768
+
+    def test_miss_then_hit_on_same_line(self):
+        cache = self.make()
+        first = cache.access(10, is_write=False)
+        assert not first.hit
+        assert first.dram_read_words == cache.line_words
+        second = cache.access(11, is_write=False)  # same 2-word line
+        assert second.hit
+        assert second.dram_words == 0
+
+    def test_write_allocate_and_dirty_writeback(self):
+        cache = self.make()
+        # Fill one set's 4 ways with conflicting lines, dirtying the first.
+        stride = cache.num_sets * cache.line_words
+        cache.access(0, is_write=True)
+        for way in range(1, 4):
+            cache.access(way * stride, is_write=False)
+        result = cache.access(4 * stride, is_write=False)
+        assert not result.hit
+        assert result.dram_writeback_words == cache.line_words
+        assert result.writeback_base == 0
+
+    def test_probe_is_non_destructive(self):
+        cache = self.make()
+        assert not cache.probe(0)
+        cache.access(0, False)
+        hits_before = cache.stats.hits
+        assert cache.probe(0)
+        assert cache.stats.hits == hits_before
+
+    def test_lru_within_set(self):
+        cache = self.make()
+        stride = cache.num_sets * cache.line_words
+        for way in range(4):
+            cache.access(way * stride, False)
+        cache.access(0, False)  # touch way 0 -> MRU
+        cache.access(4 * stride, False)  # evicts way 1 (addr stride)
+        assert cache.probe(0)
+        assert not cache.probe(stride)
+
+    def test_rijndael_sized_table_fits_entirely(self):
+        # 4 T-tables of 256 words each: 1024 words << 32768-word cache.
+        cache = self.make()
+        for addr in range(1024):
+            cache.access(addr, False)
+        relookups = [cache.access(addr, False).hit for addr in range(1024)]
+        assert all(relookups)
+
+    def test_flush_reports_dirty_words_and_invalidates(self):
+        cache = self.make()
+        cache.access(0, is_write=True)
+        cache.access(100, is_write=False)
+        assert cache.flush() == cache.line_words
+        assert not cache.probe(0)
+
+    def test_stats_hit_rate(self):
+        cache = self.make()
+        cache.access(0, False)
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)

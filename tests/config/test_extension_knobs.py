@@ -1,0 +1,38 @@
+"""Configuration knobs added for the §7 extensions and §5.4 ablations."""
+
+import pytest
+
+from repro.config import MachineConfig, isrf4_config
+from repro.core import StreamRegisterFile
+from repro.errors import ConfigurationError
+from repro.interconnect import AddressNetwork, RingAddressNetwork
+
+
+class TestNetworkKnob:
+    def test_default_is_crossbar(self):
+        assert isrf4_config().crosslane_network == "crossbar"
+
+    def test_ring_selects_ring_network(self):
+        srf = StreamRegisterFile(isrf4_config(crosslane_network="ring"))
+        assert isinstance(srf.address_network, RingAddressNetwork)
+
+    def test_crossbar_selects_plain_network(self):
+        srf = StreamRegisterFile(isrf4_config())
+        assert type(srf.address_network) is AddressNetwork
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(crosslane_network="torus").validate()
+
+
+class TestArbitrationKnob:
+    def test_default_is_round_robin(self):
+        assert isrf4_config().indexed_arbitration == "round_robin"
+
+    def test_occupancy_accepted(self):
+        cfg = isrf4_config(indexed_arbitration="occupancy")
+        StreamRegisterFile(cfg)  # constructs fine
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(indexed_arbitration="magic").validate()

@@ -1,0 +1,65 @@
+"""The four Table 2 machine configurations."""
+
+import pytest
+
+from repro.config import (
+    all_configs,
+    base_config,
+    cache_config,
+    isrf1_config,
+    isrf4_config,
+)
+from repro.config.machine import SrfMode
+
+
+class TestTable2Presets:
+    def test_base_is_sequential_dram_backed(self):
+        cfg = base_config()
+        assert cfg.srf_mode is SrfMode.SEQUENTIAL_ONLY
+        assert not cfg.has_cache
+        assert not cfg.supports_indexing
+
+    def test_isrf1_single_word_inlane(self):
+        cfg = isrf1_config()
+        assert cfg.supports_indexing
+        assert cfg.inlane_indexed_bandwidth == 1
+        assert cfg.crosslane_indexed_bandwidth == 1
+
+    def test_isrf4_four_words_inlane(self):
+        cfg = isrf4_config()
+        assert cfg.inlane_indexed_bandwidth == 4
+        assert cfg.subarrays_per_bank == 4
+        assert cfg.crosslane_indexed_bandwidth == 1
+
+    def test_cache_config_has_cache(self):
+        cfg = cache_config()
+        assert cfg.has_cache
+        assert not cfg.supports_indexing
+        assert cfg.cache_associativity == 4
+        assert cfg.cache_banks == 4
+        assert cfg.cache_line_words == 2
+
+    def test_shared_table3_parameters(self):
+        for cfg in all_configs().values():
+            assert cfg.lanes == 8
+            assert cfg.clock_hz == 1e9
+            assert cfg.srf_bytes == 128 * 1024
+            assert cfg.peak_sequential_srf_words_per_cycle == 32
+            assert cfg.srf_sequential_latency == 3
+            assert cfg.stream_buffer_words == 8
+
+    def test_indexed_latencies_match_table3(self):
+        for make in (isrf1_config, isrf4_config):
+            cfg = make()
+            assert cfg.inlane_indexed_latency == 4
+            assert cfg.crosslane_indexed_latency == 6
+            assert cfg.address_fifo_words == 8
+
+    def test_all_configs_order_and_names(self):
+        assert list(all_configs()) == ["Base", "ISRF1", "ISRF4", "Cache"]
+
+    def test_overrides_are_applied_and_validated(self):
+        cfg = isrf4_config(address_fifo_words=4)
+        assert cfg.address_fifo_words == 4
+        with pytest.raises(Exception):
+            isrf4_config(lanes=0)

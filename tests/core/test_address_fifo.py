@@ -1,0 +1,85 @@
+"""Address FIFOs: record->word expansion and head-of-line order."""
+
+import pytest
+
+from repro.core.address_fifo import AddressFifo, RecordAccess
+from repro.errors import SrfError
+
+
+def read_record(words, tickets):
+    return RecordAccess(words=words, tickets=tickets)
+
+
+class TestRecordAccess:
+    def test_read_xor_write_payload(self):
+        with pytest.raises(SrfError):
+            RecordAccess(words=[(0, 0)])
+        with pytest.raises(SrfError):
+            RecordAccess(words=[(0, 0)], tickets=[1], values=[2])
+
+    def test_payload_length_must_match(self):
+        with pytest.raises(SrfError):
+            RecordAccess(words=[(0, 0), (0, 1)], tickets=[1])
+
+
+class TestAddressFifo:
+    def test_single_word_records(self):
+        fifo = AddressFifo(capacity_entries=2, stream_id=7, lane=3)
+        fifo.push(read_record([(3, 10)], [0]))
+        word = fifo.peek_word()
+        assert word.bank_local_addr == 10
+        assert word.target_lane == 3
+        assert word.source_lane == 3
+        assert word.stream_id == 7
+        assert word.ticket == 0
+        assert word.is_read
+        fifo.advance()
+        assert fifo.is_empty
+
+    def test_record_expands_to_word_sequence(self):
+        # Head counters break a 3-word record into 3 single-word accesses
+        # (paper Section 4.4).
+        fifo = AddressFifo(capacity_entries=2, stream_id=0, lane=0)
+        fifo.push(read_record([(0, 4), (0, 5), (1, 6)], [10, 11, 12]))
+        seen = []
+        while not fifo.is_empty:
+            w = fifo.peek_word()
+            seen.append((w.target_lane, w.bank_local_addr, w.ticket))
+            fifo.advance()
+        assert seen == [(0, 4, 10), (0, 5, 11), (1, 6, 12)]
+
+    def test_capacity_counts_records_not_words(self):
+        fifo = AddressFifo(capacity_entries=2, stream_id=0, lane=0)
+        fifo.push(read_record([(0, 0), (0, 1)], [0, 1]))
+        fifo.push(read_record([(0, 2), (0, 3)], [2, 3]))
+        assert fifo.is_full
+        with pytest.raises(SrfError):
+            fifo.push(read_record([(0, 4)], [4]))
+
+    def test_head_of_line_order_preserved(self):
+        fifo = AddressFifo(capacity_entries=4, stream_id=0, lane=0)
+        fifo.push(read_record([(0, 1)], [0]))
+        fifo.push(read_record([(0, 2)], [1]))
+        assert fifo.peek_word().bank_local_addr == 1
+        # Peeking repeatedly without advance returns the same head.
+        assert fifo.peek_word().bank_local_addr == 1
+        fifo.advance()
+        assert fifo.peek_word().bank_local_addr == 2
+
+    def test_write_records_carry_values(self):
+        fifo = AddressFifo(capacity_entries=2, stream_id=0, lane=0)
+        fifo.push(RecordAccess(words=[(0, 8), (0, 9)], values=["a", "b"]))
+        w = fifo.peek_word()
+        assert not w.is_read
+        assert w.value == "a"
+        fifo.advance()
+        assert fifo.peek_word().value == "b"
+
+    def test_advance_on_empty_raises(self):
+        fifo = AddressFifo(capacity_entries=1, stream_id=0, lane=0)
+        with pytest.raises(SrfError):
+            fifo.advance()
+
+    def test_peek_on_empty_returns_none(self):
+        fifo = AddressFifo(capacity_entries=1, stream_id=0, lane=0)
+        assert fifo.peek_word() is None

@@ -1,0 +1,128 @@
+"""SrfArray: layout-aware descriptor factories and data conversions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import base_config, isrf4_config
+from repro.core import SrfArray, StreamRegisterFile
+from repro.core.descriptors import IndexSpace, StreamKind
+from repro.errors import SrfError
+
+
+def make_srf():
+    return StreamRegisterFile(isrf4_config())
+
+
+class TestDescriptorFactories:
+    def test_sequential_views(self):
+        srf = make_srf()
+        arr = SrfArray(srf, 64, "a")
+        read = arr.seq_read()
+        write = arr.seq_write(32)
+        assert read.kind is StreamKind.SEQUENTIAL_READ
+        assert read.base == arr.base and read.length_words == arr.words
+        assert write.length_words == 32
+
+    def test_sequential_view_cannot_exceed_allocation(self):
+        srf = make_srf()
+        arr = SrfArray(srf, 64, "a")
+        with pytest.raises(SrfError):
+            arr.seq_read(arr.words + 1)
+
+    def test_inlane_views_and_capacity(self):
+        srf = make_srf()
+        arr = SrfArray(srf, 8 * 16, "t")  # 16 words per lane
+        read = arr.inlane_read(8, record_words=2)
+        assert read.index_space is IndexSpace.PER_LANE
+        assert read.record_words == 2
+        with pytest.raises(SrfError):
+            arr.inlane_read(9, record_words=2)  # 18 words > 16 per lane
+
+    def test_crosslane_view(self):
+        srf = make_srf()
+        arr = SrfArray(srf, 128, "n")
+        desc = arr.crosslane_read()
+        assert desc.index_space is IndexSpace.GLOBAL
+        assert desc.length_records == 128
+        with pytest.raises(SrfError):
+            arr.crosslane_read(200)
+
+    def test_readwrite_view(self):
+        srf = make_srf()
+        arr = SrfArray(srf, 64, "b")
+        assert (arr.inlane_readwrite(8).kind
+                is StreamKind.INLANE_INDEXED_READWRITE)
+
+    def test_free_returns_space(self):
+        srf = make_srf()
+        before = srf.allocator.free_words
+        arr = SrfArray(srf, 64, "a")
+        arr.free()
+        assert srf.allocator.free_words == before
+
+
+class TestLayoutConversions:
+    def test_fill_per_lane_read_back(self):
+        srf = make_srf()
+        arr = SrfArray(srf, 8 * 8, "t")
+        tables = [[lane * 10 + k for k in range(8)] for lane in range(8)]
+        arr.fill_per_lane(tables)
+        for lane in range(8):
+            assert arr.read_per_lane(lane, 8) == tables[lane]
+
+    def test_fill_replicated(self):
+        srf = make_srf()
+        arr = SrfArray(srf, 8 * 4, "t")
+        arr.fill_replicated([9, 8, 7, 6])
+        for lane in range(8):
+            assert arr.read_per_lane(lane, 4) == [9, 8, 7, 6]
+
+    def test_stream_image_matches_fill_per_lane(self):
+        # Loading stream_image_per_lane sequentially must equal writing
+        # fill_per_lane directly — the property every app relies on.
+        srf = make_srf()
+        arr = SrfArray(srf, 8 * 8, "t")
+        tables = [[100 * lane + k for k in range(8)] for lane in range(8)]
+        image = arr.stream_image_per_lane(tables)
+        arr.fill_stream_order(image)
+        for lane in range(8):
+            assert arr.read_per_lane(lane, 8) == tables[lane]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        words_per_lane=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_image_roundtrip_property(self, words_per_lane, seed):
+        import random
+
+        rng = random.Random(seed)
+        srf = make_srf()
+        arr = SrfArray(srf, 8 * 32, f"t{seed}")
+        tables = [
+            [rng.randrange(1000) for _ in range(words_per_lane)]
+            for _ in range(8)
+        ]
+        image = arr.stream_image_per_lane(tables)
+        back = arr.per_lane_from_stream_image(image, words_per_lane)
+        assert back == tables
+
+    def test_wrong_lane_count_rejected(self):
+        srf = make_srf()
+        arr = SrfArray(srf, 64, "t")
+        with pytest.raises(SrfError):
+            arr.fill_per_lane([[1]] * 3)
+        with pytest.raises(SrfError):
+            arr.stream_image_per_lane([[1]] * 3)
+
+    def test_overfull_lane_rejected(self):
+        srf = make_srf()
+        arr = SrfArray(srf, 8 * 4, "t")
+        with pytest.raises(SrfError):
+            arr.fill_per_lane([[0] * 5] * 8)
+
+    def test_works_on_sequential_only_machines_too(self):
+        srf = StreamRegisterFile(base_config())
+        arr = SrfArray(srf, 64, "t")
+        arr.fill_stream_order(list(range(64)))
+        assert arr.read_stream_order(4) == [0, 1, 2, 3]

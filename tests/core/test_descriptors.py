@@ -1,0 +1,82 @@
+"""Stream descriptors and the Table 1 stream-type taxonomy."""
+
+import pytest
+
+from repro.core.descriptors import IndexSpace, StreamDescriptor, StreamKind
+from repro.errors import SrfError
+
+
+class TestStreamKindTaxonomy:
+    def test_table1_type_names(self):
+        # Table 1 of the paper names the KernelC stream types.
+        assert StreamKind.SEQUENTIAL_READ.value == "istream"
+        assert StreamKind.SEQUENTIAL_WRITE.value == "ostream"
+        assert StreamKind.INLANE_INDEXED_READ.value == "idxl_istream"
+        assert StreamKind.INLANE_INDEXED_WRITE.value == "idxl_ostream"
+        assert StreamKind.CROSSLANE_INDEXED_READ.value == "idx_istream"
+
+    def test_sequential_vs_indexed_partition(self):
+        sequential = {k for k in StreamKind if k.is_sequential}
+        indexed = {k for k in StreamKind if k.is_indexed}
+        assert sequential | indexed == set(StreamKind)
+        assert not sequential & indexed
+
+    def test_read_write_partition(self):
+        assert StreamKind.SEQUENTIAL_READ.is_read
+        assert StreamKind.INLANE_INDEXED_WRITE.is_write
+        assert StreamKind.CROSSLANE_INDEXED_READ.is_read
+
+    def test_only_crosslane_read_is_crosslane(self):
+        crosslane = [k for k in StreamKind if k.is_crosslane]
+        assert crosslane == [StreamKind.CROSSLANE_INDEXED_READ]
+
+
+class TestStreamDescriptor:
+    def test_length_words(self):
+        d = StreamDescriptor(
+            "s", StreamKind.SEQUENTIAL_READ, base=0,
+            length_records=10, record_words=3,
+        )
+        assert d.length_words == 30
+
+    def test_crosslane_requires_global_index_space(self):
+        with pytest.raises(SrfError):
+            StreamDescriptor(
+                "s", StreamKind.CROSSLANE_INDEXED_READ, base=0,
+                length_records=4, index_space=IndexSpace.PER_LANE,
+            )
+
+    def test_inlane_requires_per_lane_index_space(self):
+        with pytest.raises(SrfError):
+            StreamDescriptor(
+                "s", StreamKind.INLANE_INDEXED_READ, base=0,
+                length_records=4, index_space=IndexSpace.GLOBAL,
+            )
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(SrfError):
+            StreamDescriptor("s", StreamKind.SEQUENTIAL_READ, base=-1,
+                             length_records=1)
+        with pytest.raises(SrfError):
+            StreamDescriptor("s", StreamKind.SEQUENTIAL_READ, base=0,
+                             length_records=-1)
+        with pytest.raises(SrfError):
+            StreamDescriptor("s", StreamKind.SEQUENTIAL_READ, base=0,
+                             length_records=1, record_words=0)
+
+    def test_with_kind_rebinds_discipline_over_same_data(self):
+        written = StreamDescriptor(
+            "data", StreamKind.SEQUENTIAL_WRITE, base=32,
+            length_records=16, record_words=2,
+        )
+        reread = written.with_kind(StreamKind.INLANE_INDEXED_READ)
+        assert reread.base == written.base
+        assert reread.length_records == written.length_records
+        assert reread.index_space is IndexSpace.PER_LANE
+        crosslane = written.with_kind(StreamKind.CROSSLANE_INDEXED_READ)
+        assert crosslane.index_space is IndexSpace.GLOBAL
+
+    def test_stream_ids_unique(self):
+        a = StreamDescriptor("a", StreamKind.SEQUENTIAL_READ, 0, 1)
+        b = StreamDescriptor("b", StreamKind.SEQUENTIAL_READ, 0, 1)
+        assert a.stream_id != b.stream_id

@@ -1,0 +1,103 @@
+"""SRF geometry: global <-> bank-local mapping and sub-array interleave."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.geometry import SrfGeometry
+from repro.errors import SrfAccessError
+
+
+def paper_geometry() -> SrfGeometry:
+    """128 KB SRF: N=8 lanes, m=4, s=4 (paper Figure 6)."""
+    return SrfGeometry(
+        lanes=8, bank_words=4096, words_per_lane_access=4, subarrays_per_bank=4
+    )
+
+
+class TestBasicMapping:
+    def test_total_and_block_words(self):
+        g = paper_geometry()
+        assert g.total_words == 32768
+        assert g.block_words == 32
+        assert g.subarray_words == 1024
+
+    def test_first_block_is_striped_m_words_per_lane(self):
+        g = paper_geometry()
+        # Words 0..3 in lane 0, words 4..7 in lane 1, etc.
+        assert g.split(0) == (0, 0)
+        assert g.split(3) == (0, 3)
+        assert g.split(4) == (1, 0)
+        assert g.split(31) == (7, 3)
+
+    def test_second_block_continues_in_each_bank(self):
+        g = paper_geometry()
+        assert g.split(32) == (0, 4)
+        assert g.split(36) == (1, 4)
+
+    def test_sequential_block_stays_in_one_subarray(self):
+        # The m consecutive words a lane reads in one sequential access
+        # must live in a single sub-array (Section 4.2).
+        g = paper_geometry()
+        for block in range(16):
+            local_base = block * g.words_per_lane_access
+            subs = {g.subarray_of(local_base + j) for j in range(4)}
+            assert len(subs) == 1
+
+    def test_consecutive_blocks_rotate_subarrays(self):
+        g = paper_geometry()
+        subs = [g.subarray_of(block * 4) for block in range(8)]
+        assert subs == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_out_of_range_rejected(self):
+        g = paper_geometry()
+        with pytest.raises(SrfAccessError):
+            g.split(g.total_words)
+        with pytest.raises(SrfAccessError):
+            g.join(8, 0)
+        with pytest.raises(SrfAccessError):
+            g.join(0, g.bank_words)
+
+    def test_blocks_spanned(self):
+        g = paper_geometry()
+        assert g.blocks_spanned(0, 1) == 1
+        assert g.blocks_spanned(0, 32) == 1
+        assert g.blocks_spanned(0, 33) == 2
+        assert g.blocks_spanned(32, 64) == 2
+        assert g.blocks_spanned(0, 0) == 0
+
+
+@given(
+    lanes=st.sampled_from([1, 2, 4, 8, 16]),
+    m=st.sampled_from([1, 2, 4, 8]),
+    s=st.sampled_from([1, 2, 4, 8]),
+    blocks=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+def test_split_join_roundtrip(lanes, m, s, blocks, data):
+    """split/join are inverse bijections over the whole address space."""
+    bank_words = blocks * m * s
+    g = SrfGeometry(
+        lanes=lanes,
+        bank_words=bank_words,
+        words_per_lane_access=m,
+        subarrays_per_bank=s,
+    )
+    addr = data.draw(st.integers(min_value=0, max_value=g.total_words - 1))
+    lane, local = g.split(addr)
+    assert 0 <= lane < lanes
+    assert 0 <= local < bank_words
+    assert g.join(lane, local) == addr
+
+
+@given(
+    m=st.sampled_from([1, 2, 4]),
+    s=st.sampled_from([1, 2, 4, 8]),
+    data=st.data(),
+)
+def test_subarray_always_in_range(m, s, data):
+    g = SrfGeometry(
+        lanes=4, bank_words=16 * m * s, words_per_lane_access=m,
+        subarrays_per_bank=s,
+    )
+    local = data.draw(st.integers(min_value=0, max_value=g.bank_words - 1))
+    assert 0 <= g.subarray_of(local) < s

@@ -1,0 +1,180 @@
+"""Sequential SRF access through stream buffers (paper Section 4.3)."""
+
+import pytest
+
+from repro.config import base_config, isrf4_config
+from repro.core.descriptors import StreamDescriptor, StreamKind
+from repro.core.srf import PortDirection, StreamRegisterFile
+from repro.errors import SrfError
+
+
+def make_srf():
+    return StreamRegisterFile(base_config())
+
+
+def run_cycles(srf, start, count):
+    for cycle in range(start, start + count):
+        srf.tick(cycle)
+    return start + count
+
+
+class TestSequentialRead:
+    def test_block_arrives_after_pipeline_latency(self):
+        srf = make_srf()
+        region = srf.allocator.allocate(32, "in")
+        srf.storage.write_range(region.base, list(range(32)))
+        desc = StreamDescriptor(
+            "in", StreamKind.SEQUENTIAL_READ, region.base, length_records=32
+        )
+        port = srf.open_sequential(desc)
+        assert not port.can_pop()
+        srf.tick(0)  # grant cycle
+        assert not port.can_pop()  # latency is 3 cycles
+        run_cycles(srf, 1, 3)
+        assert port.can_pop()
+        # Block striping: lane l's first word is global word l*m.
+        assert port.pop_simd() == [0, 4, 8, 12, 16, 20, 24, 28]
+        assert port.pop_simd() == [1, 5, 9, 13, 17, 21, 25, 29]
+
+    def test_whole_stream_transfers_in_order(self):
+        srf = make_srf()
+        words = 96  # three blocks
+        region = srf.allocator.allocate(words, "in")
+        srf.storage.write_range(region.base, list(range(words)))
+        desc = StreamDescriptor(
+            "in", StreamKind.SEQUENTIAL_READ, region.base, length_records=words
+        )
+        port = srf.open_sequential(desc)
+        lane0 = []
+        for cycle in range(60):
+            srf.tick(cycle)
+            while port.can_pop():
+                lane0.append(port.pop_simd()[0])
+        # Lane 0 sees words 0..3 of every block, i.e. 0..3, 32..35, 64..67.
+        assert lane0 == [0, 1, 2, 3, 32, 33, 34, 35, 64, 65, 66, 67]
+        assert port.drained
+
+    def test_stats_count_words(self):
+        srf = make_srf()
+        region = srf.allocator.allocate(64, "in")
+        desc = StreamDescriptor(
+            "in", StreamKind.SEQUENTIAL_READ, region.base, length_records=64
+        )
+        port = srf.open_sequential(desc)
+        for cycle in range(20):
+            srf.tick(cycle)
+            while port.can_pop():
+                port.pop_simd()
+        assert srf.stats.sequential_words == 64
+        assert srf.stats.sequential_grants == 2
+
+
+class TestSequentialWrite:
+    def test_written_data_lands_in_storage(self):
+        srf = make_srf()
+        region = srf.allocator.allocate(32, "out")
+        desc = StreamDescriptor(
+            "out", StreamKind.SEQUENTIAL_WRITE, region.base, length_records=32
+        )
+        port = srf.open_sequential(desc)
+        # Push m=4 words per lane: one full block.
+        for i in range(4):
+            port.push_simd([100 * lane + i for lane in range(8)])
+        srf.tick(0)
+        # Lane 2's words occupy global addresses base+8..base+11.
+        assert srf.storage.read_range(region.base + 8, 4) == [
+            200, 201, 202, 203,
+        ]
+        assert port.drained
+
+    def test_partial_final_block_needs_flush(self):
+        srf = make_srf()
+        region = srf.allocator.allocate(32, "out")
+        desc = StreamDescriptor(
+            "out", StreamKind.SEQUENTIAL_WRITE, region.base, length_records=16
+        )
+        port = srf.open_sequential(desc)
+        port.push_simd(list(range(8)))
+        port.push_simd(list(range(8)))
+        srf.tick(0)
+        assert not port.drained  # only 2 words/lane buffered, no flush yet
+        port.flush()
+        srf.tick(1)
+        assert port.drained
+        assert srf.storage.read_range(region.base, 2) == [0, 0]
+        assert srf.storage.read_range(region.base + 4, 2) == [1, 1]
+
+    def test_push_beyond_capacity_raises(self):
+        srf = make_srf()
+        region = srf.allocator.allocate(320, "out")
+        desc = StreamDescriptor(
+            "out", StreamKind.SEQUENTIAL_WRITE, region.base, length_records=320
+        )
+        port = srf.open_sequential(desc)
+        for i in range(8):  # fill the 8-word buffer without ticking
+            port.push_simd([i] * 8)
+        with pytest.raises(SrfError):
+            port.push_simd([9] * 8)
+
+
+class TestPortArbitration:
+    def test_single_port_per_cycle(self):
+        # Two ready read ports: only one block moves per cycle.
+        srf = make_srf()
+        r1 = srf.allocator.allocate(32, "a")
+        r2 = srf.allocator.allocate(32, "b")
+        p1 = srf.open_sequential(StreamDescriptor(
+            "a", StreamKind.SEQUENTIAL_READ, r1.base, 32))
+        p2 = srf.open_sequential(StreamDescriptor(
+            "b", StreamKind.SEQUENTIAL_READ, r2.base, 32))
+        srf.tick(0)
+        assert srf.stats.sequential_grants == 1
+        srf.tick(1)
+        assert srf.stats.sequential_grants == 2
+        run_cycles(srf, 2, 4)
+        assert p1.can_pop() and p2.can_pop()
+
+    def test_round_robin_is_fair_across_ports(self):
+        srf = make_srf()
+        regions = [srf.allocator.allocate(128, f"s{i}") for i in range(3)]
+        ports = [
+            srf.open_sequential(StreamDescriptor(
+                f"s{i}", StreamKind.SEQUENTIAL_READ, r.base, 128))
+            for i, r in enumerate(regions)
+        ]
+        for cycle in range(40):
+            srf.tick(cycle)
+            for port in ports:
+                while port.can_pop():
+                    port.pop_simd()
+        assert all(port.drained for port in ports)
+
+    def test_idle_when_nothing_pending(self):
+        srf = make_srf()
+        assert srf.idle
+        region = srf.allocator.allocate(32, "a")
+        port = srf.open_sequential(StreamDescriptor(
+            "a", StreamKind.SEQUENTIAL_READ, region.base, 32))
+        assert not srf.idle
+        for cycle in range(10):
+            srf.tick(cycle)
+            while port.can_pop():
+                port.pop_simd()
+        assert srf.idle
+
+
+class TestIndexedRejection:
+    def test_sequential_only_machine_rejects_indexed_streams(self):
+        srf = make_srf()
+        desc = StreamDescriptor(
+            "t", StreamKind.INLANE_INDEXED_READ, 0, length_records=8
+        )
+        with pytest.raises(SrfError):
+            srf.open_indexed(desc)
+
+    def test_indexed_machine_accepts(self):
+        srf = StreamRegisterFile(isrf4_config())
+        desc = StreamDescriptor(
+            "t", StreamKind.INLANE_INDEXED_READ, 0, length_records=8
+        )
+        srf.open_indexed(desc)

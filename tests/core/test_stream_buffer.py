@@ -1,0 +1,112 @@
+"""Stream buffers: LaneFifo and the indexed-stream ReorderBuffer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.stream_buffer import LaneFifo, ReorderBuffer
+from repro.errors import SrfError
+
+
+class TestLaneFifo:
+    def test_block_fill_then_simd_pops(self):
+        fifo = LaneFifo(lanes=2, capacity_words=8)
+        fifo.push_block([[1, 2, 3, 4], [5, 6, 7, 8]])
+        assert fifo.occupancy == 4
+        assert fifo.pop_simd() == [1, 5]
+        assert fifo.pop_simd() == [2, 6]
+        assert fifo.occupancy == 2
+
+    def test_simd_pushes_then_block_drain(self):
+        fifo = LaneFifo(lanes=2, capacity_words=8)
+        fifo.push_simd([1, 10])
+        fifo.push_simd([2, 20])
+        assert fifo.pop_block(2) == [[1, 2], [10, 20]]
+
+    def test_overflow_raises(self):
+        fifo = LaneFifo(lanes=1, capacity_words=2)
+        fifo.push_simd([1])
+        fifo.push_simd([2])
+        with pytest.raises(SrfError):
+            fifo.push_simd([3])
+
+    def test_underflow_raises(self):
+        fifo = LaneFifo(lanes=1, capacity_words=2)
+        with pytest.raises(SrfError):
+            fifo.pop_simd()
+
+    def test_nonuniform_block_rejected(self):
+        fifo = LaneFifo(lanes=2, capacity_words=8)
+        with pytest.raises(SrfError):
+            fifo.push_block([[1, 2], [3]])
+
+    def test_wrong_lane_count_rejected(self):
+        fifo = LaneFifo(lanes=2, capacity_words=8)
+        with pytest.raises(SrfError):
+            fifo.push_simd([1])
+
+    @given(st.lists(st.integers(), min_size=1, max_size=32))
+    def test_fifo_order_preserved(self, values):
+        fifo = LaneFifo(lanes=1, capacity_words=len(values))
+        for v in values:
+            fifo.push_simd([v])
+        popped = [fifo.pop_simd()[0] for _ in values]
+        assert popped == values
+
+
+class TestReorderBuffer:
+    def test_in_order_fill_and_pop(self):
+        rob = ReorderBuffer(4)
+        t0, t1 = rob.reserve(), rob.reserve()
+        rob.fill(t0, "a")
+        rob.fill(t1, "b")
+        assert rob.pop() == "a"
+        assert rob.pop() == "b"
+
+    def test_out_of_order_fill_blocks_head(self):
+        # Figure 9: a younger completed access must not unblock the head.
+        rob = ReorderBuffer(4)
+        t0 = rob.reserve()
+        t1 = rob.reserve()
+        rob.fill(t1, "late")
+        assert not rob.head_ready()
+        with pytest.raises(SrfError):
+            rob.pop()
+        rob.fill(t0, "early")
+        assert rob.head_ready()
+        assert rob.pop() == "early"
+        assert rob.pop() == "late"
+
+    def test_capacity_enforced(self):
+        rob = ReorderBuffer(2)
+        rob.reserve()
+        rob.reserve()
+        assert not rob.can_reserve()
+        with pytest.raises(SrfError):
+            rob.reserve()
+
+    def test_pop_frees_capacity(self):
+        rob = ReorderBuffer(1)
+        t = rob.reserve()
+        rob.fill(t, 1)
+        rob.pop()
+        assert rob.can_reserve()
+
+    def test_double_fill_rejected(self):
+        rob = ReorderBuffer(2)
+        t = rob.reserve()
+        rob.fill(t, 1)
+        with pytest.raises(SrfError):
+            rob.fill(t, 2)
+
+    def test_unknown_ticket_rejected(self):
+        rob = ReorderBuffer(2)
+        with pytest.raises(SrfError):
+            rob.fill(99, 1)
+
+    @given(st.permutations(list(range(6))))
+    def test_any_fill_order_pops_in_issue_order(self, fill_order):
+        rob = ReorderBuffer(6)
+        tickets = [rob.reserve() for _ in range(6)]
+        for position in fill_order:
+            rob.fill(tickets[position], position)
+        assert [rob.pop() for _ in range(6)] == list(range(6))

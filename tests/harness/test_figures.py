@@ -1,0 +1,77 @@
+"""Harness experiment runners (the cheap, simulation-light ones)."""
+
+import pytest
+
+from repro.harness import figures
+
+
+class TestScales:
+    def test_known_scales(self):
+        for scale in ("small", "medium", "paper"):
+            assert scale in figures.SCALES
+        assert figures.SCALES["paper"]["fft_n"] == 64
+        assert figures.SCALES["paper"]["sort_n"] == 4096
+        assert figures.SCALES["paper"]["filter_size"] == (256, 256)
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert figures.default_scale() == "small"
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert figures.default_scale() == "medium"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            figures.default_scale()
+
+    def test_unknown_benchmark_rejected(self):
+        from repro.config import base_config
+
+        with pytest.raises(ValueError):
+            figures.run_benchmark("nope", base_config(), "small")
+
+
+class TestStaticExperiments:
+    def test_table3(self):
+        result = figures.table3()
+        assert len(result["rows"]) == 4
+        assert "Table 3" in result["text"]
+
+    def test_table4(self):
+        result = figures.table4()
+        names = [row[0] for row in result["rows"]]
+        assert names == ["IG_SML", "IG_SCL", "IG_DMS", "IG_DCS"]
+
+    def test_area_overheads(self):
+        result = figures.area_overheads()
+        assert 0.09 < result["overheads"]["ISRF1"] < 0.13
+
+    def test_energy_table(self):
+        result = figures.energy_table()
+        assert "5.000" in result["text"]
+
+    def test_figure14_shapes(self):
+        result = figures.figure14(separations=(2, 6, 10))
+        data = result["data"]
+        assert data["Rijndael"][10] > data["Rijndael"][2]
+        assert data["Filter"][10] == pytest.approx(data["Filter"][2])
+
+    def test_figure17_small(self):
+        result = figures.figure17(subarrays=(1, 4), fifo_sizes=(8,),
+                                  cycles=400)
+        assert result["data"][(4, 8)] > result["data"][(1, 8)]
+
+    def test_figure18_small(self):
+        result = figures.figure18(ports=(1, 2), occupancies=(0.0,),
+                                  cycles=400)
+        assert result["data"][(2, 0.0)] > result["data"][(1, 0.0)]
+
+
+class TestBenchmarkCache:
+    def test_run_benchmark_caches(self):
+        from repro.config import isrf4_config
+
+        figures.clear_cache()
+        cfg = isrf4_config()
+        first = figures.run_benchmark("Sort", cfg, "small")
+        second = figures.run_benchmark("Sort", cfg, "small")
+        assert first is second
+        figures.clear_cache()

@@ -1,0 +1,28 @@
+"""The ``python -m repro.harness`` entry point."""
+
+import json
+
+from repro.harness.__main__ import main
+
+
+class TestMain:
+    def test_subset_runs_and_prints(self, capsys):
+        assert main(["table3", "area"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "area overheads" in out
+        assert "Figure 11" not in out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "results.json"
+        assert main(["table4", "energy", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["scale"] in ("small", "medium", "paper")
+        assert "table4" in data["experiments"]
+        assert "energy" in data["experiments"]
+        rows = data["experiments"]["table4"]["rows"]
+        assert rows[0][0] == "IG_SML"
+
+    def test_fig17_via_cli(self, capsys):
+        assert main(["fig17"]) == 0
+        assert "Figure 17" in capsys.readouterr().out

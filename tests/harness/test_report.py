@@ -1,0 +1,36 @@
+"""Text report rendering."""
+
+from repro.harness import render_grid, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table("Title", ["name", "value"],
+                            [["a", 1.5], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.500" in text and "22" in text
+
+    def test_floats_formatted_to_three_places(self):
+        text = render_table("t", ["x"], [[0.123456]])
+        assert "0.123" in text and "0.1234" not in text
+
+    def test_empty_rows(self):
+        text = render_table("t", ["a", "b"], [])
+        assert text.splitlines()[0] == "t"
+
+    def test_columns_wide_enough_for_all_cells(self):
+        text = render_table("t", ["a"], [["very-long-cell-content"]])
+        header_line = text.splitlines()[1]
+        assert len(header_line) >= len("very-long-cell-content")
+
+
+class TestRenderGrid:
+    def test_grid_layout(self):
+        values = {(r, c): r * c for r in (1, 2) for c in (3, 4)}
+        text = render_grid("G", "row", [1, 2], "col", [3, 4], values)
+        lines = text.splitlines()
+        assert lines[0] == "G"
+        assert "row\\col" in lines[1]
+        assert any("8" in line for line in lines)  # 2*4

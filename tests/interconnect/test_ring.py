@@ -1,0 +1,69 @@
+"""Sparse (ring) address network — the §7 future-work evaluation."""
+
+import pytest
+
+from repro.errors import SrfError
+from repro.interconnect import AddressNetwork, RingAddressNetwork
+
+
+class TestRingPaths:
+    def make(self, lanes=8, **kw):
+        return RingAddressNetwork(lanes=lanes, **kw)
+
+    def test_shortest_arc_chosen(self):
+        net = self.make()
+        assert len(net._path(0, 1)) == 1
+        assert len(net._path(0, 7)) == 1   # wraps backwards
+        assert len(net._path(0, 4)) == 4   # diameter
+        assert len(net._path(3, 3)) == 0   # local
+
+    def test_local_access_uses_no_links(self):
+        net = self.make()
+        net.begin_cycle()
+        assert net.try_route(2, 2)
+
+    def test_link_contention_blocks_overlapping_paths(self):
+        net = self.make(link_bandwidth=1)
+        net.begin_cycle()
+        # 0 -> 2 uses links (0,+1) and (1,+1).
+        assert net.try_route(0, 2)
+        # 1 -> 3 needs (1,+1) and (2,+1): (1,+1) is taken.
+        assert not net.try_route(1, 3)
+        # Opposite direction is free.
+        assert net.try_route(3, 1)
+
+    def test_higher_link_bandwidth_relieves_contention(self):
+        net = self.make(link_bandwidth=2, ports_per_bank=2,
+                        source_bandwidth=2)
+        net.begin_cycle()
+        assert net.try_route(0, 2)
+        assert net.try_route(1, 3)
+
+    def test_budgets_reset_each_cycle(self):
+        net = self.make()
+        net.begin_cycle()
+        assert net.try_route(0, 2)
+        net.begin_cycle()
+        assert net.try_route(1, 3)
+
+    def test_invalid_link_bandwidth(self):
+        with pytest.raises(SrfError):
+            RingAddressNetwork(lanes=4, link_bandwidth=0)
+
+    def test_ring_never_beats_crossbar(self):
+        # Property: any request pattern the ring admits in one cycle,
+        # the crossbar admits too.
+        import random
+
+        rng = random.Random(9)
+        for _trial in range(50):
+            requests = [(rng.randrange(8), rng.randrange(8))
+                        for _ in range(6)]
+            ring = RingAddressNetwork(8, ports_per_bank=2,
+                                      source_bandwidth=2)
+            xbar = AddressNetwork(8, ports_per_bank=2, source_bandwidth=2)
+            ring.begin_cycle()
+            xbar.begin_cycle()
+            ring_granted = sum(ring.try_route(s, b) for s, b in requests)
+            xbar_granted = sum(xbar.try_route(s, b) for s, b in requests)
+            assert ring_granted <= xbar_granted

@@ -1,0 +1,164 @@
+"""KernelBuilder DSL and IR validation."""
+
+import pytest
+
+from repro.core.descriptors import StreamKind
+from repro.errors import KernelBuildError
+from repro.kernel import KernelBuilder, OpKind
+
+
+class TestStreamDeclarations:
+    def test_all_table1_stream_types(self):
+        b = KernelBuilder("k")
+        assert b.istream("a").kind is StreamKind.SEQUENTIAL_READ
+        assert b.ostream("b").kind is StreamKind.SEQUENTIAL_WRITE
+        assert b.idxl_istream("c").kind is StreamKind.INLANE_INDEXED_READ
+        assert b.idxl_ostream("d").kind is StreamKind.INLANE_INDEXED_WRITE
+        assert b.idx_istream("e").kind is StreamKind.CROSSLANE_INDEXED_READ
+
+    def test_duplicate_stream_name_rejected(self):
+        b = KernelBuilder("k")
+        b.istream("a")
+        with pytest.raises(KernelBuildError):
+            b.ostream("a")
+
+    def test_record_words_positive(self):
+        b = KernelBuilder("k")
+        with pytest.raises(KernelBuildError):
+            b.istream("a", record_words=0)
+
+
+class TestGraphConstruction:
+    def test_figure10_lookup_kernel_shape(self):
+        b = KernelBuilder("lookup")
+        in_s = b.istream("in")
+        lut = b.idxl_istream("LUT")
+        out = b.ostream("out")
+        a = b.read(in_s)
+        v = b.idx_read(lut, a)
+        c = b.arith(lambda x, y: x + y, a, v)
+        b.write(out, c)
+        k = b.build()
+        kinds = [op.kind for op in k.ops]
+        assert kinds == [
+            OpKind.SEQ_READ, OpKind.IDX_ISSUE, OpKind.IDX_DATA,
+            OpKind.ARITH, OpKind.SEQ_WRITE,
+        ]
+
+    def test_read_requires_sequential_input(self):
+        b = KernelBuilder("k")
+        out = b.ostream("o")
+        with pytest.raises(KernelBuildError):
+            b.read(out)
+
+    def test_idx_read_requires_indexed_input(self):
+        b = KernelBuilder("k")
+        in_s = b.istream("i")
+        with pytest.raises(KernelBuildError):
+            b.idx_read(in_s, b.const(0))
+
+    def test_idx_write_requires_inlane_output(self):
+        b = KernelBuilder("k")
+        lut = b.idxl_istream("t")
+        with pytest.raises(KernelBuildError):
+            b.idx_write(lut, b.const(0), b.const(1))
+
+    def test_crosslane_write_unsupported_as_in_paper(self):
+        # Section 4.7: no cross-lane indexed write streams.
+        b = KernelBuilder("k")
+        nodes = b.idx_istream("n")
+        with pytest.raises(KernelBuildError):
+            b.idx_write(nodes, b.const(0), b.const(1))
+
+    def test_carry_must_be_updated(self):
+        b = KernelBuilder("k")
+        out = b.ostream("o")
+        c = b.carry(0, "acc")
+        b.write(out, c)
+        with pytest.raises(KernelBuildError):
+            b.build()
+
+    def test_carry_double_update_rejected(self):
+        b = KernelBuilder("k")
+        c = b.carry(0, "acc")
+        one = b.const(1)
+        nxt = b.add(c, one)
+        b.update(c, nxt)
+        with pytest.raises(KernelBuildError):
+            b.update(c, nxt)
+
+    def test_update_requires_carry_read(self):
+        b = KernelBuilder("k")
+        x = b.const(1)
+        with pytest.raises(KernelBuildError):
+            b.update(x, x)
+
+    def test_build_twice_rejected(self):
+        b = KernelBuilder("k")
+        b.const(1)
+        b.build()
+        with pytest.raises(KernelBuildError):
+            b.build()
+        with pytest.raises(KernelBuildError):
+            b.const(2)
+
+    def test_mac_chain_builds_mul_add_tree(self):
+        b = KernelBuilder("k")
+        xs = [b.const(i) for i in range(3)]
+        ws = [b.const(i * 10) for i in range(3)]
+        acc = b.mac_chain(zip(xs, ws))
+        k = b.build()
+        muls = [op for op in k.ops if op.kind is OpKind.MUL]
+        assert len(muls) == 3
+        assert acc in k.ops
+
+    def test_mac_chain_empty_rejected(self):
+        b = KernelBuilder("k")
+        with pytest.raises(KernelBuildError):
+            b.mac_chain([])
+
+
+class TestDependenceEdges:
+    def test_separation_applied_to_issue_data_edge(self):
+        b = KernelBuilder("k")
+        lut = b.idxl_istream("t")
+        out = b.ostream("o")
+        v = b.idx_read(lut, b.const(0))
+        b.write(out, v)
+        k = b.build()
+        edges = k.dependence_edges(inlane_separation=9,
+                                   crosslane_separation=21)
+        issue_data = [
+            e for e in edges
+            if e.source.kind is OpKind.IDX_ISSUE
+            and e.sink.kind is OpKind.IDX_DATA
+        ]
+        assert len(issue_data) == 1
+        assert issue_data[0].latency == 9
+
+    def test_crosslane_separation_used_for_crosslane_streams(self):
+        b = KernelBuilder("k")
+        nodes = b.idx_istream("n")
+        out = b.ostream("o")
+        v = b.idx_read(nodes, b.const(0))
+        b.write(out, v)
+        k = b.build()
+        edges = k.dependence_edges(inlane_separation=6,
+                                   crosslane_separation=21)
+        issue_data = [
+            e for e in edges if e.sink.kind is OpKind.IDX_DATA
+        ]
+        assert issue_data[0].latency == 21
+
+    def test_carry_produces_distance_one_back_edge(self):
+        b = KernelBuilder("k")
+        out = b.ostream("o")
+        c = b.carry(0, "acc")
+        nxt = b.add(c, b.const(1))
+        b.update(c, nxt)
+        b.write(out, nxt)
+        k = b.build()
+        edges = k.dependence_edges(6, 20)
+        back = [e for e in edges if e.distance == 1]
+        assert back
+        assert all(e.source is nxt for e in back)

@@ -1,0 +1,259 @@
+"""KernelC front-end: the paper's §4.7 programmer interface."""
+
+import pytest
+
+from repro.kernel import (
+    KernelCError,
+    KernelInterpreter,
+    ModuloScheduler,
+    OpKind,
+    compile_kernelc,
+)
+from repro.kernel.contexts import ListContext
+
+FIGURE_10 = """
+kernel lookup(
+    istream<int> in,       // sequential in stream
+    idxl_istream<int> LUT, // indexed in stream
+    ostream<int> out) {    // seq. out stream
+    int a, b, c;
+    while (!eos(in)) {
+        in >> a;           // sequential stream access
+        LUT[a] >> b;       // indexed stream access
+        c = foo(a, b);
+        out << c;
+    }
+}
+"""
+
+
+def run_kernel(source, inputs, tables=None, iterations=None, lanes=1,
+               intrinsics=None):
+    kernel, streams = compile_kernelc(source, intrinsics=intrinsics)
+    ctx = ListContext(lanes)
+    for name, data in inputs.items():
+        ctx.bind_input(streams[name], data)
+    for name, table in (tables or {}).items():
+        ctx.bind_table(streams[name], table)
+    iterations = iterations or len(next(iter(inputs.values()))[0])
+    KernelInterpreter(kernel, lanes, ctx).run(iterations)
+    return ctx, kernel, streams
+
+
+class TestFigure10:
+    def test_compiles_verbatim(self):
+        kernel, streams = compile_kernelc(
+            FIGURE_10, intrinsics={"foo": lambda a, b: a + b}
+        )
+        assert kernel.name == "lookup"
+        assert set(streams) == {"in", "LUT", "out"}
+        kinds = [op.kind for op in kernel.ops]
+        assert OpKind.IDX_ISSUE in kinds and OpKind.SEQ_WRITE in kinds
+
+    def test_executes_correctly(self):
+        ctx, *_ = run_kernel(
+            FIGURE_10,
+            inputs={"in": [[0, 2, 1]]},
+            tables={"LUT": [[10, 20, 30]]},
+            intrinsics={"foo": lambda a, b: a + b},
+        )
+        assert ctx.output("out") == [[10, 32, 21]]
+
+    def test_schedules(self):
+        kernel, _ = compile_kernelc(
+            FIGURE_10, intrinsics={"foo": lambda a, b: a + b}
+        )
+        schedule = ModuloScheduler().schedule(kernel)
+        assert schedule.ii >= 1
+
+
+class TestLanguageFeatures:
+    def test_carry_inference_for_accumulator(self):
+        source = """
+        kernel acc(istream<int> in, ostream<int> out) {
+            int sum = 100;
+            int x;
+            while (!eos(in)) {
+                in >> x;
+                sum = sum + x;
+                out << sum;
+            }
+        }
+        """
+        ctx, kernel, _ = run_kernel(source, {"in": [[1, 2, 3]]})
+        assert ctx.output("out") == [[101, 103, 106]]
+        assert len(kernel.carries) == 1
+        assert kernel.carries[0].name == "sum"
+
+    def test_no_carry_when_written_before_read(self):
+        source = """
+        kernel k(istream<int> in, ostream<int> out) {
+            int x, y;
+            while (!eos(in)) {
+                in >> x;
+                y = x * 2;
+                out << y;
+            }
+        }
+        """
+        _, kernel, _ = run_kernel(source, {"in": [[4]]})
+        assert kernel.carries == []
+
+    def test_ternary_and_comparisons(self):
+        source = """
+        kernel pick(istream<int> a, istream<int> b, ostream<int> out) {
+            int x, y;
+            while (!eos(a)) {
+                a >> x;
+                b >> y;
+                out << (x < y ? x : y);
+            }
+        }
+        """
+        ctx, *_ = run_kernel(source, {"a": [[5, 1]], "b": [[3, 4]]})
+        assert ctx.output("out") == [[3, 1]]
+
+    def test_operator_precedence(self):
+        source = """
+        kernel k(istream<int> in, ostream<int> out) {
+            int x;
+            while (!eos(in)) {
+                in >> x;
+                out << (1 + 2 * x);
+                out << ((x + 1) * 2);
+                out << (x - 1 - 1);
+                out << (x & 3 | 4);
+            }
+        }
+        """
+        ctx, *_ = run_kernel(source, {"in": [[5]]}, iterations=1)
+        assert ctx.output("out") == [[11, 12, 3, 5]]
+
+    def test_bitwise_and_shift_lower_to_logic_ops(self):
+        source = """
+        kernel k(istream<int> in, ostream<int> out) {
+            int x;
+            while (!eos(in)) {
+                in >> x;
+                out << ((x >> 2) ^ (x << 1) & 0xFF);
+            }
+        }
+        """
+        ctx, kernel, _ = run_kernel(source, {"in": [[0x5A]]}, iterations=1)
+        expected = (0x5A >> 2) ^ ((0x5A << 1) & 0xFF)
+        assert ctx.output("out") == [[expected]]
+        assert any(op.kind is OpKind.LOGIC for op in kernel.ops)
+
+    def test_mul_div_use_costly_units(self):
+        source = """
+        kernel k(istream<float> in, ostream<float> out) {
+            float x;
+            while (!eos(in)) {
+                in >> x;
+                out << (x * 3.0 / 2.0);
+            }
+        }
+        """
+        _, kernel, _ = run_kernel(source, {"in": [[4.0]]}, iterations=1)
+        kinds = {op.kind for op in kernel.ops}
+        assert OpKind.MUL in kinds and OpKind.DIV in kinds
+
+    def test_indexed_write_and_readwrite_stream(self):
+        source = """
+        kernel hist(istream<int> in, idxl_iostream<int> bins) {
+            int v, c;
+            while (!eos(in)) {
+                in >> v;
+                bins[v] >> c;
+                bins[v] << c + 1;
+            }
+        }
+        """
+        kernel, streams = compile_kernelc(source)
+        ctx = ListContext(1)
+        ctx.bind_input(streams["in"], [[0, 1, 0]])
+        ctx.bind_table(streams["bins"], [[0, 0]])
+        KernelInterpreter(kernel, 1, ctx).run(3)
+        assert ctx.table("bins", lane=0) == [2, 1]
+
+    def test_comm_and_laneid_builtins(self):
+        source = """
+        kernel rotate(istream<int> in, ostream<int> out) {
+            int x;
+            while (!eos(in)) {
+                in >> x;
+                out << comm(x, laneid() + 1);
+            }
+        }
+        """
+        kernel, streams = compile_kernelc(source)
+        ctx = ListContext(4)
+        ctx.bind_input(streams["in"], [[10], [11], [12], [13]])
+        KernelInterpreter(kernel, 4, ctx).run(1)
+        assert ctx.output("out") == [[11], [12], [13], [10]]
+
+    def test_builtin_intrinsics(self):
+        source = """
+        kernel k(istream<int> in, ostream<int> out) {
+            int x;
+            while (!eos(in)) {
+                in >> x;
+                out << max(min(x, 10), 0);
+            }
+        }
+        """
+        ctx, *_ = run_kernel(source, {"in": [[-5, 3, 99]]})
+        assert ctx.output("out") == [[0, 3, 10]]
+
+
+class TestErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(KernelCError, match="undeclared"):
+            compile_kernelc("""
+            kernel k(istream<int> in, ostream<int> out) {
+                while (!eos(in)) { in >> x; }
+            }
+            """)
+
+    def test_unknown_stream_type(self):
+        with pytest.raises(KernelCError, match="unknown stream type"):
+            compile_kernelc("kernel k(wibble<int> s) { }")
+
+    def test_unknown_intrinsic(self):
+        with pytest.raises(KernelCError, match="unknown intrinsic"):
+            compile_kernelc("""
+            kernel k(istream<int> in, ostream<int> out) {
+                int x;
+                while (!eos(in)) { in >> x; out << mystery(x); }
+            }
+            """)
+
+    def test_stream_used_as_value(self):
+        with pytest.raises(KernelCError, match="used as a value"):
+            compile_kernelc("""
+            kernel k(istream<int> in, ostream<int> out) {
+                int x;
+                while (!eos(in)) { x = in + 1; }
+            }
+            """)
+
+    def test_nested_loops_rejected(self):
+        with pytest.raises(KernelCError, match="nested"):
+            compile_kernelc("""
+            kernel k(istream<int> in, ostream<int> out) {
+                int x;
+                while (!eos(in)) { while (!eos(in)) { in >> x; } }
+            }
+            """)
+
+    def test_eos_of_unknown_stream(self):
+        with pytest.raises(KernelCError, match="unknown stream"):
+            compile_kernelc("""
+            kernel k(istream<int> in, ostream<int> out) {
+                while (!eos(nope)) { }
+            }
+            """)
+
+    def test_garbage_input(self):
+        with pytest.raises(KernelCError):
+            compile_kernelc("kernel @@@")

@@ -1,0 +1,94 @@
+"""High-level LookupTable construct: one kernel, machine-chosen lowering."""
+
+import pytest
+
+from repro.config import all_configs, base_config, isrf4_config
+from repro.core import SrfArray
+from repro.errors import ExecutionError
+from repro.highlevel import LookupTable
+from repro.kernel import KernelBuilder
+from repro.machine import KernelInvocation, StreamProcessor, StreamProgram
+from repro.memory import load_op, store_op
+
+LANES = 8
+
+
+def run_lookup_app(config, n=64):
+    """out[i] = in[i] + table[in[i]] using the high-level construct."""
+    proc = StreamProcessor(config)
+    table_values = [3 * v + 1 for v in range(32)]
+    table = LookupTable(proc, table_values, "LUT")
+
+    b = KernelBuilder("hl_lookup")
+    in_s = b.istream("in")
+    out_s = b.ostream("out")
+    lut = table.declare(b)
+    a = b.read(in_s)
+    v = table.lookup(b, lut, a)
+    b.write(out_s, b.add(a, v))
+    kernel = b.build()
+
+    inputs = [i % 32 for i in range(n)]
+    in_arr = SrfArray(proc.srf, n, "in")
+    out_arr = SrfArray(proc.srf, n, "out")
+    src = proc.memory.allocate(n, "src")
+    dst = proc.memory.allocate(n, "dst")
+    proc.memory.load_region(src, inputs)
+
+    prog = StreamProgram("hl")
+    t_in = prog.add_memory(load_op(in_arr.seq_read(), src))
+    # Per-lane index trace (what each lane will look up, in order).
+    m = 4
+    per_lane = [[] for _ in range(LANES)]
+    for k, value in enumerate(inputs):
+        lane = (k // m) % LANES
+        per_lane[lane].append(value)
+    binding, deps = table.prepare(prog, rep=0, per_lane_indices=per_lane)
+    t_k = prog.add_kernel(KernelInvocation(kernel, {
+        "in": in_arr.seq_read(), "LUT": binding,
+        "out": out_arr.seq_write(),
+    }, iterations=n // LANES), deps=[t_in] + deps)
+    prog.add_memory(store_op(out_arr.seq_write(name="st"), dst),
+                    deps=[t_k])
+    stats = proc.run_program(prog)
+    expected = [v + table_values[v] for v in inputs]
+    return proc.memory.dump_region(dst), expected, stats
+
+
+class TestLookupTableLowering:
+    @pytest.mark.parametrize("name", ["Base", "ISRF1", "ISRF4", "Cache"])
+    def test_same_kernel_correct_on_every_machine(self, name):
+        results, expected, _ = run_lookup_app(all_configs()[name])
+        assert results == expected
+
+    def test_indexed_lowering_avoids_offchip_lookups(self):
+        _, _, indexed_stats = run_lookup_app(isrf4_config())
+        _, _, base_stats = run_lookup_app(base_config())
+        # Base gathers one word per lookup; indexed only moves in/out.
+        assert base_stats.offchip_words > 1.4 * indexed_stats.offchip_words
+
+    def test_indexed_lowering_uses_indexed_srf(self):
+        _, _, stats = run_lookup_app(isrf4_config())
+        assert stats.kernel_runs[0].inlane_words == 64
+
+    def test_sequential_lowering_requires_index_trace(self):
+        proc = StreamProcessor(base_config())
+        table = LookupTable(proc, [1, 2, 3], "t")
+        prog = StreamProgram("p")
+        with pytest.raises(ExecutionError):
+            table.prepare(prog, rep=0, per_lane_indices=None)
+
+    def test_wrong_lane_count_rejected(self):
+        proc = StreamProcessor(base_config())
+        table = LookupTable(proc, [1, 2, 3], "t")
+        prog = StreamProgram("p")
+        with pytest.raises(ExecutionError):
+            table.prepare(prog, rep=0, per_lane_indices=[[0]] * 3)
+
+    def test_indexed_prepare_ignores_trace(self):
+        proc = StreamProcessor(isrf4_config())
+        table = LookupTable(proc, list(range(16)), "t")
+        prog = StreamProgram("p")
+        binding, deps = table.prepare(prog, rep=0)
+        assert deps == []
+        assert binding.length_records == 16

@@ -1,0 +1,208 @@
+"""End-to-end machine tests: functional correctness + timing attribution."""
+
+import pytest
+
+from repro.config import base_config, isrf1_config, isrf4_config
+from repro.core import SrfArray
+from repro.kernel import KernelBuilder
+from repro.machine import (
+    KERNEL_STARTUP_CYCLES,
+    KernelInvocation,
+    StreamProcessor,
+    StreamProgram,
+)
+from repro.memory import load_op, store_op
+
+LANES = 8
+
+
+def lookup_kernel(streams=1):
+    """out = in + sum of LUT_k[in] over k lookups (distinct streams)."""
+    b = KernelBuilder(f"lookup{streams}")
+    in_s = b.istream("in")
+    out_s = b.ostream("out")
+    luts = [b.idxl_istream(f"LUT{i}") for i in range(streams)]
+    a = b.read(in_s)
+    acc = a
+    for lut in luts:
+        acc = b.add(acc, b.idx_read(lut, a))
+    b.write(out_s, acc)
+    return b.build(), in_s, luts, out_s
+
+
+def copy_kernel():
+    b = KernelBuilder("copy")
+    in_s = b.istream("in")
+    out_s = b.ostream("out")
+    b.write(out_s, b.read(in_s))
+    return b.build()
+
+
+def run_lookup(config, n=64, streams=1, table_records=64):
+    """Build the canonical load->lookup->store pipeline; returns
+    (stats, result, expected, proc)."""
+    proc = StreamProcessor(config)
+    kernel, _in_s, _luts, _out = lookup_kernel(streams)
+    in_arr = SrfArray(proc.srf, n, "in")
+    out_arr = SrfArray(proc.srf, n, "out")
+    lut_arrs = [
+        SrfArray(proc.srf, table_records * LANES, f"lut{i}")
+        for i in range(streams)
+    ]
+    table = [100 * (t + 1) for t in range(table_records)]
+    in_region = proc.memory.allocate(n, "mem_in")
+    out_region = proc.memory.allocate(n, "mem_out")
+    inputs = [i % table_records for i in range(n)]
+    proc.memory.load_region(in_region, inputs)
+    for arr in lut_arrs:
+        arr.fill_replicated(table)
+    prog = StreamProgram("lookup")
+    t_in = prog.add_memory(load_op(in_arr.seq_read(), in_region))
+    bindings = {"in": in_arr.seq_read(), "out": out_arr.seq_write()}
+    for i, arr in enumerate(lut_arrs):
+        bindings[f"LUT{i}"] = arr.inlane_read(table_records)
+    t_k = prog.add_kernel(
+        KernelInvocation(kernel, bindings, iterations=n // LANES),
+        deps=[t_in],
+    )
+    prog.add_memory(store_op(out_arr.seq_write(name="st"), out_region),
+                    deps=[t_k])
+    stats = proc.run_program(prog)
+    result = proc.memory.dump_region(out_region)
+    expected = [v + streams * table[v] for v in inputs]
+    return stats, result, expected, proc
+
+
+class TestFunctionalCorrectness:
+    def test_indexed_lookup_pipeline_isrf4(self):
+        stats, result, expected, _ = run_lookup(isrf4_config())
+        assert result == expected
+
+    def test_indexed_lookup_pipeline_isrf1(self):
+        stats, result, expected, _ = run_lookup(isrf1_config())
+        assert result == expected
+
+    def test_multi_stream_lookup(self):
+        stats, result, expected, _ = run_lookup(isrf4_config(), streams=2)
+        assert result == expected
+
+    def test_sequential_copy_on_base_machine(self):
+        proc = StreamProcessor(base_config())
+        n = 128
+        in_arr = SrfArray(proc.srf, n, "in")
+        out_arr = SrfArray(proc.srf, n, "out")
+        src = proc.memory.allocate(n, "src")
+        dst = proc.memory.allocate(n, "dst")
+        data = [3 * i + 1 for i in range(n)]
+        proc.memory.load_region(src, data)
+        prog = StreamProgram("copy")
+        t_in = prog.add_memory(load_op(in_arr.seq_read(), src))
+        t_k = prog.add_kernel(
+            KernelInvocation(
+                copy_kernel(),
+                {"in": in_arr.seq_read(), "out": out_arr.seq_write()},
+                iterations=n // LANES,
+            ),
+            deps=[t_in],
+        )
+        prog.add_memory(store_op(out_arr.seq_write(name="st"), dst),
+                        deps=[t_k])
+        proc.run_program(prog)
+        assert proc.memory.dump_region(dst) == data
+
+
+class TestTimingAttribution:
+    def test_breakdown_categories_cover_total(self):
+        stats, *_ = run_lookup(isrf4_config())
+        b = stats.breakdown()
+        assert sum(b.values()) == stats.total_cycles
+
+    def test_kernel_startup_in_overhead(self):
+        stats, *_ = run_lookup(isrf4_config())
+        run = stats.kernel_runs[0]
+        assert run.overhead_cycles >= KERNEL_STARTUP_CYCLES
+
+    def test_memory_stall_present_for_dependent_load(self):
+        stats, *_ = run_lookup(isrf4_config())
+        assert stats.memory_stall_cycles > 0
+
+    def test_offchip_traffic_counts_load_and_store(self):
+        stats, *_ = run_lookup(isrf4_config(), n=64)
+        assert stats.offchip_words == 128  # 64 in + 64 out
+
+    def test_loop_body_is_ii_times_iterations(self):
+        stats, *_ = run_lookup(isrf4_config(), n=64)
+        run = stats.kernel_runs[0]
+        assert run.loop_body_cycles == run.ii * 8
+
+    def test_load_imbalance_attributed_to_overhead(self):
+        proc = StreamProcessor(isrf4_config())
+        n = 64
+        in_arr = SrfArray(proc.srf, n, "in")
+        out_arr = SrfArray(proc.srf, n, "out")
+        in_arr.fill_stream_order([1] * n)
+        prog = StreamProgram("imbalanced")
+        prog.add_kernel(KernelInvocation(
+            copy_kernel(),
+            {"in": in_arr.seq_read(), "out": out_arr.seq_write()},
+            iterations=8,
+            useful_iterations=[8, 8, 8, 8, 4, 4, 4, 4],
+        ))
+        stats = proc.run_program(prog)
+        run = stats.kernel_runs[0]
+        assert run.imbalance_cycles == run.ii * 2  # mean useful = 6 of 8
+        assert run.loop_body_cycles == run.ii * 6
+
+
+class TestIndexedBandwidthEffects:
+    def test_isrf1_stalls_more_than_isrf4_with_multiple_streams(self):
+        # The paper: ISRF1 and ISRF4 differ only for benchmarks with more
+        # than one indexed stream (Rijndael, Filter), where ISRF1's single
+        # indexed word/cycle/lane causes SRF stalls.
+        s1, r1, e1, _ = run_lookup(isrf1_config(), n=256, streams=3)
+        s4, r4, e4, _ = run_lookup(isrf4_config(), n=256, streams=3)
+        assert r1 == e1 and r4 == e4
+        stall1 = s1.kernel_runs[0].srf_stall_cycles
+        stall4 = s4.kernel_runs[0].srf_stall_cycles
+        assert s1.kernel_runs[0].total_cycles >= s4.kernel_runs[0].total_cycles
+        assert stall1 >= stall4
+
+    def test_srf_bandwidth_stats_populated(self):
+        stats, *_ = run_lookup(isrf4_config(), n=256)
+        run = stats.kernel_runs[0]
+        assert run.inlane_words == 256
+        assert run.inlane_bandwidth > 0
+        assert run.sequential_bandwidth > 0
+        assert run.crosslane_words == 0
+
+
+class TestOverlap:
+    def test_double_buffering_hides_memory_time(self):
+        """Two independent datasets: loads overlap the previous kernel."""
+        def build(proc, tag, kernel, regions):
+            n = 512
+            in_arr = SrfArray(proc.srf, n, f"in{tag}")
+            out_arr = SrfArray(proc.srf, n, f"out{tag}")
+            src = proc.memory.allocate(n, f"src{tag}")
+            proc.memory.load_region(src, [1] * n)
+            prog = StreamProgram(f"p{tag}")
+            t_in = prog.add_memory(load_op(in_arr.seq_read(), src))
+            prog.add_kernel(KernelInvocation(
+                kernel,
+                {"in": in_arr.seq_read(), "out": out_arr.seq_write()},
+                iterations=n // LANES,
+            ), deps=[t_in])
+            return prog
+
+        kernel = copy_kernel()
+        serial = StreamProcessor(base_config())
+        p1 = build(serial, "a", kernel, None)
+        p2 = build(serial, "b", kernel, None)
+        serial_stats = [serial.run_program(p1.then(p2, join_all=True))]
+        serial_total = serial_stats[0].total_cycles
+
+        overlapped = StreamProcessor(base_config())
+        q1 = build(overlapped, "a", kernel, None)
+        q2 = build(overlapped, "b", kernel, None)
+        overlap_total = overlapped.run_program(q1.then(q2)).total_cycles
+        assert overlap_total < serial_total

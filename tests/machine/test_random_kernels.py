@@ -1,0 +1,161 @@
+"""Property tests over randomly generated kernels.
+
+Two system-level invariants:
+
+1. every random kernel gets a *legal* modulo schedule at every
+   address-data separation (dependences, resources, stream order,
+   buffer capacity);
+2. running a random kernel on the cycle-accurate machine produces
+   exactly the values the reference interpreter produces — i.e. the
+   timing machinery (stream buffers, FIFOs, reorder buffers,
+   arbitration, stalls) never corrupts data.
+"""
+
+import random as pyrandom
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import isrf4_config
+from repro.core import SrfArray
+from repro.kernel import KernelBuilder, KernelInterpreter, ModuloScheduler
+from repro.kernel.contexts import ListContext
+from repro.kernel.resources import ClusterResources, resource_key
+from repro.machine import KernelInvocation, StreamProcessor, StreamProgram
+from repro.memory import load_op, store_op
+
+LANES = 8
+TABLE_RECORDS = 16
+MOD = 1 << 16
+
+
+def build_random_kernel(seed: int, ops_count: int, use_carry: bool,
+                        lookups: int):
+    """A random integer dataflow kernel over one input/output stream and
+    an optional lookup table, deterministic in ``seed``."""
+    rng = pyrandom.Random(seed)
+    b = KernelBuilder(f"rand{seed}")
+    in_s = b.istream("in")
+    lut = b.idxl_istream("lut") if lookups else None
+    out = b.ostream("out")
+    values = [b.read(in_s)]
+    if use_carry:
+        carry = b.carry(1, "acc")
+        values.append(carry)
+    for k in range(ops_count):
+        op_kind = rng.choice(["add", "mul", "logic", "select"])
+        a = rng.choice(values)
+        c = rng.choice(values)
+        if op_kind == "add":
+            values.append(b.logic(lambda x, y: (x + y) % MOD, a, c))
+        elif op_kind == "mul":
+            values.append(b.mul(a, b.const(rng.randrange(1, 7))))
+            values.append(b.logic(lambda x: x % MOD, values[-1]))
+        elif op_kind == "logic":
+            values.append(b.logic(lambda x, y: (x ^ y) % MOD, a, c))
+        else:
+            cond = b.logic(lambda x: x % 2, a)
+            values.append(b.select(cond, a, c))
+    for _ in range(lookups):
+        idx = b.logic(lambda x: int(x) % TABLE_RECORDS, rng.choice(values))
+        values.append(b.idx_read(lut, idx))
+        values.append(b.logic(lambda x, y: (x + y) % MOD,
+                              values[-1], rng.choice(values)))
+    result = b.logic(lambda x: x % MOD, values[-1])
+    if use_carry:
+        b.update(carry, b.logic(lambda x, y: (x + y + 1) % MOD,
+                                carry, result))
+    b.write(out, result)
+    return b.build(), in_s, lut, out
+
+
+def verify_schedule(schedule):
+    resources = ClusterResources()
+    kernel = schedule.kernel
+    edges = kernel.dependence_edges(
+        schedule.inlane_separation, schedule.crosslane_separation
+    )
+    for edge in edges:
+        gap = (schedule.slots[edge.sink.op_id]
+               - schedule.slots[edge.source.op_id])
+        assert gap >= edge.latency - schedule.ii * edge.distance
+    usage = {}
+    for op in kernel.ops:
+        key = resource_key(op)
+        if key is None:
+            continue
+        slot = schedule.slots[op.op_id]
+        for k in range(op.spec.reserved_cycles):
+            cell = (key, (slot + k) % schedule.ii)
+            usage[cell] = usage.get(cell, 0) + 1
+            assert usage[cell] <= resources.count(key)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    ops_count=st.integers(min_value=1, max_value=14),
+    use_carry=st.booleans(),
+    lookups=st.integers(min_value=0, max_value=3),
+    separation=st.sampled_from([2, 4, 6, 8, 10]),
+)
+def test_random_kernels_schedule_legally(seed, ops_count, use_carry,
+                                         lookups, separation):
+    kernel, *_ = build_random_kernel(seed, ops_count, use_carry, lookups)
+    schedule = ModuloScheduler().schedule(
+        kernel, inlane_separation=separation
+    )
+    verify_schedule(schedule)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    ops_count=st.integers(min_value=1, max_value=10),
+    use_carry=st.booleans(),
+    lookups=st.integers(min_value=0, max_value=2),
+)
+def test_machine_matches_reference_interpreter(seed, ops_count, use_carry,
+                                               lookups):
+    kernel, in_s, lut, out = build_random_kernel(
+        seed, ops_count, use_carry, lookups
+    )
+    rng = pyrandom.Random(seed + 1)
+    iterations = 8  # a whole number of SRF access groups per lane
+    table = [rng.randrange(MOD) for _ in range(TABLE_RECORDS)]
+    inputs = [[rng.randrange(MOD) for _ in range(iterations)]
+              for _ in range(LANES)]
+
+    # Reference: the plain interpreter over list-backed streams.
+    ctx = ListContext(LANES)
+    ctx.bind_input(in_s, inputs)
+    if lut is not None:
+        ctx.bind_table(lut, [list(table)] * LANES)
+    KernelInterpreter(kernel, LANES, ctx).run(iterations)
+    expected = ctx.output("out")
+
+    # Machine: the full cycle-accurate pipeline.
+    proc = StreamProcessor(isrf4_config())
+    n = iterations * LANES
+    in_arr = SrfArray(proc.srf, n, "in")
+    out_arr = SrfArray(proc.srf, n, "out")
+    src = proc.memory.allocate(n, "src")
+    dst = proc.memory.allocate(n, "dst")
+    proc.memory.load_region(src, in_arr.stream_image_per_lane(inputs))
+    bindings = {"in": in_arr.seq_read(), "out": out_arr.seq_write()}
+    if lut is not None:
+        lut_arr = SrfArray(proc.srf, TABLE_RECORDS * LANES, "lut")
+        lut_arr.fill_replicated(table)
+        bindings["lut"] = lut_arr.inlane_read(TABLE_RECORDS)
+    prog = StreamProgram("rand")
+    t_load = prog.add_memory(load_op(in_arr.seq_read(), src))
+    t_k = prog.add_kernel(
+        KernelInvocation(kernel, bindings, iterations=iterations),
+        deps=[t_load],
+    )
+    prog.add_memory(store_op(out_arr.seq_write(name="st"), dst),
+                    deps=[t_k])
+    proc.run_program(prog)
+    got = out_arr.per_lane_from_stream_image(
+        proc.memory.dump_region(dst), iterations
+    )
+    assert got == expected

@@ -1,0 +1,122 @@
+"""DRAM bandwidth and row-buffer locality model."""
+
+import random
+
+import pytest
+
+from repro.config import base_config
+from repro.memory.dram import DramModel
+
+
+def make_dram(**overrides):
+    return DramModel(base_config(**overrides))
+
+
+def sustained_words(dram, addr_stream, cycles):
+    """Words transferred when offering addresses continuously."""
+    it = iter(addr_stream)
+    pending = next(it)
+    moved = 0
+    for _ in range(cycles):
+        dram.begin_cycle()
+        while dram.try_access(pending, is_write=False):
+            moved += 1
+            pending = next(it)
+    return moved
+
+
+class TestBandwidth:
+    def test_sequential_achieves_near_peak(self):
+        dram = make_dram()
+        cycles = 2000
+        moved = sustained_words(dram, iter(range(10**9)), cycles)
+        peak = base_config().dram_words_per_cycle * cycles
+        assert moved >= 0.95 * peak
+
+    def test_random_is_substantially_slower_than_sequential(self):
+        rng = random.Random(7)
+        dram = make_dram()
+        span = 1 << 22  # far larger than open rows can cover
+        random_stream = (rng.randrange(span) for _ in range(10**9))
+        cycles = 2000
+        moved = sustained_words(dram, random_stream, cycles)
+        peak = base_config().dram_words_per_cycle * cycles
+        assert moved <= 0.5 * peak
+
+    def test_small_table_gathers_stay_fast(self):
+        # A Rijndael-sized table spans few rows; its rows stay open, so
+        # random lookups into it approach streaming bandwidth.
+        rng = random.Random(7)
+        dram = make_dram()
+        table_words = 1024  # two 512-word rows
+        stream = (rng.randrange(table_words) for _ in range(10**9))
+        cycles = 2000
+        moved = sustained_words(dram, stream, cycles)
+        peak = base_config().dram_words_per_cycle * cycles
+        assert moved >= 0.9 * peak
+
+    def test_budget_does_not_accumulate_unbounded(self):
+        dram = make_dram()
+        for _ in range(10_000):  # long idle period
+            dram.begin_cycle()
+        dram.begin_cycle()
+        moved = 0
+        while dram.try_access(moved, False):
+            moved += 1
+        assert moved <= 5 * base_config().dram_words_per_cycle + 1
+
+
+def recover(dram, cycles=10):
+    """Accrue enough budget to absorb a prior row-miss charge."""
+    for _ in range(cycles):
+        dram.begin_cycle()
+
+
+class TestRowBuffer:
+    def test_hits_and_misses_counted(self):
+        dram = make_dram()
+        recover(dram)
+        assert dram.try_access(0, False)   # miss (cold row)
+        recover(dram)
+        assert dram.try_access(1, False)   # hit (same row)
+        assert dram.stats.row_misses == 1
+        assert dram.stats.row_hits == 1
+
+    def test_reset_rows_forces_misses(self):
+        dram = make_dram()
+        recover(dram)
+        assert dram.try_access(0, False)
+        dram.reset_rows()
+        recover(dram)
+        assert dram.try_access(1, False)
+        assert dram.stats.row_misses == 2
+
+    def test_read_write_words_tracked(self):
+        dram = make_dram()
+        recover(dram)
+        assert dram.try_access(0, False)
+        recover(dram)
+        assert dram.try_access(0, True)
+        assert dram.stats.read_words == 1
+        assert dram.stats.write_words == 1
+        assert dram.stats.total_words == 2
+
+    def test_miss_charge_delays_next_access(self):
+        dram = make_dram()
+        dram.begin_cycle()
+        assert dram.try_access(0, False)  # cold miss eats several cycles
+        dram.begin_cycle()
+        assert not dram.try_access(1, False)
+
+    def test_charge_allows_overdraft(self):
+        dram = make_dram()
+        dram.begin_cycle()
+        dram.charge(0, False)
+        dram.charge(1, False)  # no budget left, still accounted
+        assert dram.stats.total_words == 2
+
+    def test_negative_address_rejected(self):
+        dram = make_dram()
+        dram.begin_cycle()
+        with pytest.raises(Exception):
+            dram.try_access(-1, False)

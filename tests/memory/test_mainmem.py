@@ -1,0 +1,74 @@
+"""Main memory allocator and functional storage."""
+
+import pytest
+
+from repro.errors import MemorySystemError
+from repro.memory import MainMemory
+
+
+class TestAllocation:
+    def test_regions_are_row_aligned_and_disjoint(self):
+        mem = MainMemory(row_words=512)
+        a = mem.allocate(100, "a")
+        b = mem.allocate(600, "b")
+        assert a.base % 512 == 0
+        assert b.base % 512 == 0
+        assert b.base >= a.base + 512
+
+    def test_duplicate_names_rejected(self):
+        mem = MainMemory()
+        mem.allocate(10, "a")
+        with pytest.raises(MemorySystemError):
+            mem.allocate(10, "a")
+
+    def test_region_lookup(self):
+        mem = MainMemory()
+        region = mem.allocate(10, "a")
+        assert mem.region("a") == region
+        with pytest.raises(MemorySystemError):
+            mem.region("missing")
+
+    def test_region_addr_bounds(self):
+        mem = MainMemory()
+        region = mem.allocate(10, "a")
+        assert region.addr(0) == region.base
+        assert region.addr(9) == region.base + 9
+        with pytest.raises(MemorySystemError):
+            region.addr(10)
+        with pytest.raises(MemorySystemError):
+            region.addr(-1)
+
+    def test_nonpositive_allocation_rejected(self):
+        with pytest.raises(MemorySystemError):
+            MainMemory().allocate(0, "z")
+
+
+class TestStorage:
+    def test_uninitialised_reads_zero(self):
+        mem = MainMemory()
+        assert mem.read(1234) == 0
+
+    def test_roundtrip_and_ranges(self):
+        mem = MainMemory()
+        mem.write_range(100, [1, 2, 3])
+        assert mem.read_range(100, 3) == [1, 2, 3]
+        assert mem.read_range(99, 5) == [0, 1, 2, 3, 0]
+
+    def test_load_and_dump_region(self):
+        mem = MainMemory()
+        region = mem.allocate(4, "r")
+        mem.load_region(region, [9, 8, 7, 6])
+        assert mem.dump_region(region) == [9, 8, 7, 6]
+
+    def test_load_region_overflow_rejected(self):
+        mem = MainMemory()
+        region = mem.allocate(2, "r")
+        with pytest.raises(MemorySystemError):
+            mem.load_region(region, [1, 2, 3])
+
+    def test_negative_address_rejected(self):
+        mem = MainMemory()
+        with pytest.raises(MemorySystemError):
+            mem.read(-1)
+        with pytest.raises(MemorySystemError):
+            mem.write(-1, 0)

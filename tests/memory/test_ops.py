@@ -1,0 +1,83 @@
+"""Stream memory op construction and validation."""
+
+import pytest
+
+from repro.core.descriptors import StreamDescriptor, StreamKind
+from repro.errors import MemorySystemError
+from repro.memory import (
+    MainMemory,
+    MemoryOpKind,
+    StreamMemoryOp,
+    gather_op,
+    load_op,
+    scatter_op,
+    store_op,
+)
+
+
+def descriptor(words=32):
+    return StreamDescriptor("s", StreamKind.SEQUENTIAL_READ, 0, words)
+
+
+class TestOpKinds:
+    def test_direction_classification(self):
+        assert MemoryOpKind.LOAD.into_srf
+        assert MemoryOpKind.GATHER.into_srf
+        assert not MemoryOpKind.STORE.into_srf
+        assert not MemoryOpKind.SCATTER.into_srf
+
+
+class TestConstruction:
+    def test_load_defaults_to_stream_length(self):
+        mem = MainMemory()
+        region = mem.allocate(64, "r")
+        op = load_op(descriptor(32), region)
+        assert op.words == 32
+        assert op.mem_addrs[0] == region.base
+        assert op.describe() == "load:s"
+
+    def test_window_bounds_checked(self):
+        mem = MainMemory()
+        region = mem.allocate(16, "r")
+        with pytest.raises(MemorySystemError):
+            load_op(descriptor(32), region, offset=0, words=32)
+        with pytest.raises(MemorySystemError):
+            store_op(descriptor(8), region, offset=12, words=8)
+        with pytest.raises(MemorySystemError):
+            load_op(descriptor(8), region, words=0)
+
+    def test_transfer_cannot_exceed_srf_stream(self):
+        mem = MainMemory()
+        region = mem.allocate(64, "r")
+        with pytest.raises(MemorySystemError):
+            StreamMemoryOp(MemoryOpKind.LOAD, descriptor(8),
+                           list(range(region.base, region.base + 16)))
+
+    def test_empty_transfer_rejected(self):
+        with pytest.raises(MemorySystemError):
+            StreamMemoryOp(MemoryOpKind.LOAD, descriptor(8), [])
+
+    def test_gather_and_scatter_resolve_offsets(self):
+        mem = MainMemory()
+        region = mem.allocate(16, "r")
+        op = gather_op(descriptor(4), region, [3, 1, 2, 0])
+        assert op.mem_addrs == [region.base + 3, region.base + 1,
+                                region.base + 2, region.base + 0]
+        op = scatter_op(descriptor(4), region, [0, 15, 7, 8])
+        assert op.kind is MemoryOpKind.SCATTER
+        assert not op.into_srf
+
+    def test_gather_offset_out_of_region(self):
+        mem = MainMemory()
+        region = mem.allocate(16, "r")
+        with pytest.raises(MemorySystemError):
+            gather_op(descriptor(4), region, [0, 16, 1, 2])
+
+    def test_op_ids_unique_and_names_default(self):
+        mem = MainMemory()
+        region = mem.allocate(16, "r")
+        a = load_op(descriptor(4), region, words=4)
+        b = load_op(descriptor(4), region, words=4)
+        assert a.op_id != b.op_id
+        named = load_op(descriptor(4), region, words=4, name="custom")
+        assert named.describe() == "custom"
