@@ -6,11 +6,8 @@ the Imagine statistics of [13]); versus 100%-150% of SRF area for the
 Cache configuration.
 """
 
-from repro.harness import area_overheads
-
-
-def test_area_overheads(run_once):
-    result = run_once(area_overheads)
+def test_area_overheads(run_registered):
+    result = run_registered("area")
     overheads = result["overheads"]
     assert 0.09 <= overheads["ISRF1"] <= 0.13            # paper: 11%
     assert 0.15 <= overheads["ISRF4"] <= 0.21            # paper: 18%

@@ -10,11 +10,8 @@ from DRAM into the SRF is therefore also a large energy win.
 import pytest
 
 from repro.area.energy import EnergyModel
-from repro.harness import energy_table
-
-
-def test_energy_model(run_once):
-    result = run_once(energy_table)
+def test_energy_model(run_registered):
+    result = run_registered("energy")
     model = EnergyModel()
     assert model.indexed_word_nj == pytest.approx(0.1, rel=0.3)
     assert model.indexed_word_nj == pytest.approx(

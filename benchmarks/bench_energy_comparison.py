@@ -8,11 +8,8 @@ where it does not (Filter pays 25 indexed reads per pixel at 4x the
 per-word energy while saving no traffic).
 """
 
-from repro.harness import energy_comparison
-
-
-def test_energy_comparison(run_once):
-    result = run_once(energy_comparison)
+def test_energy_comparison(run_registered):
+    result = run_registered("energy_cmp")
     data = result["data"]
 
     # Traffic-dominated benchmarks save large amounts of energy.

@@ -8,11 +8,8 @@ captures inter-strip reuse and beats ISRF there); no reduction for Sort
 and Filter (all locality already captured by Base).
 """
 
-from repro.harness import figure11
-
-
-def test_figure11_memory_traffic(run_once):
-    result = run_once(figure11)
+def test_figure11_memory_traffic(run_registered):
+    result = run_registered("fig11")
     data = result["data"]
     # FFT 2D: the rotation through memory disappears (2x traffic -> 1x).
     assert 0.4 <= data[("FFT 2D", "ISRF")] <= 0.6

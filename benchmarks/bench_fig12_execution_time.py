@@ -9,11 +9,8 @@ multi-indexed-stream benchmarks (Rijndael, Filter). The Cache machine
 helps the memory-bound benchmarks but never beats ISRF4.
 """
 
-from repro.harness import figure12
-
-
-def test_figure12_execution_breakdown(run_once):
-    result = run_once(figure12)
+def test_figure12_execution_breakdown(run_registered):
+    result = run_registered("fig12")
     data = result["data"]
 
     def total(bench, config):

@@ -8,11 +8,8 @@ the only cross-lane consumers; sustained bandwidths are well below the
 peaks, but bursty (the stream buffers absorb the bursts).
 """
 
-from repro.harness import figure13
-
-
-def test_figure13_srf_bandwidth(run_once):
-    result = run_once(figure13)
+def test_figure13_srf_bandwidth(run_registered):
+    result = run_registered("fig13")
     data = result["data"]
 
     # Only the IG kernels use cross-lane access (paper §5.2).

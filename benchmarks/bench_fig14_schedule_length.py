@@ -10,11 +10,8 @@ schedule length" (modulo minor scheduler fluctuations, which the paper
 also reports).
 """
 
-from repro.harness import figure14
-
-
-def test_figure14_schedule_length(run_once):
-    result = run_once(figure14)
+def test_figure14_schedule_length(run_registered):
+    result = run_registered("fig14")
     data = result["data"]
 
     # Loop-carried index computation: length grows rapidly.

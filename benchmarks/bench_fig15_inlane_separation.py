@@ -8,11 +8,8 @@ and early degradation for Sort (whose loop-carried recurrence grows
 directly with the separation).
 """
 
-from repro.harness import figure15
-
-
-def test_figure15_inlane_separation(run_once):
-    result = run_once(figure15)
+def test_figure15_inlane_separation(run_registered):
+    result = run_registered("fig15")
     data = result["data"]
 
     # Pipelinable kernels: too-small separation costs SRF stalls.

@@ -7,11 +7,8 @@ dependencies" — time falls as the separation first covers the ~6-cycle
 cross-lane latency plus arbitration jitter, then flattens out to 24.
 """
 
-from repro.harness import figure16
-
-
-def test_figure16_crosslane_separation(run_once):
-    result = run_once(figure16)
+def test_figure16_crosslane_separation(run_registered):
+    result = run_registered("fig16")
     data = result["data"]
 
     for kernel in ("IGraph1", "IGraph2"):

@@ -9,11 +9,8 @@ available bandwidth decreases as the number of sub-arrays increases due
 to head-of-line blocking."
 """
 
-from repro.harness import figure17
-
-
-def test_figure17_inlane_throughput(run_once):
-    result = run_once(figure17)
+def test_figure17_inlane_throughput(run_registered):
+    result = run_registered("fig17")
     data = result["data"]
 
     # Throughput grows with sub-arrays at a fixed (deep) FIFO.

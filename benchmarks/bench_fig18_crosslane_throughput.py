@@ -10,11 +10,8 @@ wide range of inter-cluster communication traffic loads" — SRF-port
 contention, not comm traffic, dominates.
 """
 
-from repro.harness import figure18
-
-
-def test_figure18_crosslane_throughput(run_once):
-    result = run_once(figure18)
+def test_figure18_crosslane_throughput(run_registered):
+    result = run_registered("fig18")
     data = result["data"]
 
     # 1 -> 2 ports: significant; 2 -> 4: marginal.

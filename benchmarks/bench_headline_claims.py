@@ -6,11 +6,8 @@ sequential SRF access for a set of benchmarks representative of
 data-parallel applications with irregular accesses."
 """
 
-from repro.harness import headline
-
-
-def test_headline_claims(run_once):
-    result = run_once(headline)
+def test_headline_claims(run_registered):
+    result = run_registered("headline")
     claims = {c.benchmark: c for c in result["claims"]}
 
     # Every benchmark speeds up; none slows down.

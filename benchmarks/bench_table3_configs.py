@@ -1,11 +1,8 @@
 """Tables 2 and 3: the four machine configurations and their parameters."""
 
 from repro.config import all_configs
-from repro.harness import table3
-
-
-def test_table3_machine_parameters(run_once):
-    result = run_once(table3)
+def test_table3_machine_parameters(run_registered):
+    result = run_registered("table3")
     configs = all_configs()
     assert list(configs) == ["Base", "ISRF1", "ISRF4", "Cache"]
     for cfg in configs.values():

@@ -8,11 +8,8 @@ that the measured strip partitioning matches the configured sizes.
 """
 
 from repro.apps import igraph
-from repro.harness import table4
-
-
-def test_table4_datasets(run_once):
-    result = run_once(table4)
+def test_table4_datasets(run_registered):
+    result = run_registered("table4")
     rows = {row[0]: row for row in result["rows"]}
     assert rows["IG_SML"][3] == 1163 and rows["IG_SML"][4] == 2316
     assert rows["IG_DMS"][3] == 265 and rows["IG_DMS"][4] == 528

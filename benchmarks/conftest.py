@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.harness.runner import run_experiment
+
 
 @pytest.fixture
 def run_once(benchmark):
@@ -15,5 +17,17 @@ def run_once(benchmark):
             print()
             print(result["text"])
         return result
+
+    return _run
+
+
+@pytest.fixture
+def run_registered(run_once):
+    """Run a registry experiment by name through the shared runner, so
+    the benchmark exercises exactly what ``python -m repro.harness``
+    (and its parallel workers) execute."""
+
+    def _run(name):
+        return run_once(run_experiment, name)
 
     return _run

@@ -98,6 +98,18 @@ class MachineConfig:
     #: fullest address FIFOs — §5.4 found such arbiters worth <10%).
     indexed_arbitration: str = "round_robin"
 
+    # --- Simulation knobs (not machine parameters) ----------------------
+    #: Abort a run after this many cycles without forward progress (a bug
+    #: in the program or the model). ``None`` uses the simulator default
+    #: (:data:`repro.machine.processor.DEADLOCK_CYCLES`).
+    deadlock_cycles: "int | None" = None
+    #: Let :meth:`repro.machine.processor.StreamProcessor.run_program`
+    #: skip straight over cycles that are provably pure waits (DRAM
+    #: latency windows, kernel startup with quiescent stream units),
+    #: charging them to the same stall categories in bulk. Results are
+    #: bit-identical to per-cycle stepping; disable only to cross-check.
+    fast_forward: bool = True
+
     # --- Memory system (Table 3) ----------------------------------------
     #: Peak off-chip DRAM bandwidth in bytes/second (9.14 GB/s).
     dram_bandwidth_bytes_per_s: float = 9.14e9
@@ -240,6 +252,8 @@ class MachineConfig:
             raise ConfigurationError(
                 f"unknown arbitration policy {self.indexed_arbitration!r}"
             )
+        if self.deadlock_cycles is not None and self.deadlock_cycles <= 0:
+            raise ConfigurationError("deadlock_cycles must be positive")
         if self.dram_bandwidth_bytes_per_s <= 0:
             raise ConfigurationError("DRAM bandwidth must be positive")
         if self.dram_row_words <= 0 or self.dram_banks <= 0:

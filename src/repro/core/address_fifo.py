@@ -12,12 +12,11 @@ blocking studied in Figure 17.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.errors import SrfError
 
 
-@dataclass
 class RecordAccess:
     """One record-granular entry of an address FIFO.
 
@@ -29,24 +28,24 @@ class RecordAccess:
     words to store (writes). Exactly one of the two is set.
     """
 
-    words: list  # of (target_lane, bank_local_addr)
-    tickets: "list | None" = None  # reads
-    values: "list | None" = None  # writes
+    __slots__ = ("words", "tickets", "values")
 
-    def __post_init__(self) -> None:
-        if (self.tickets is None) == (self.values is None):
+    def __init__(self, words, tickets=None, values=None):
+        if (tickets is None) == (values is None):
             raise SrfError("a record access is either a read or a write")
-        payload = self.tickets if self.tickets is not None else self.values
-        if len(payload) != len(self.words):
+        payload = tickets if tickets is not None else values
+        if len(payload) != len(words):
             raise SrfError("one ticket/value per word required")
+        self.words = words  # of (target_lane, bank_local_addr)
+        self.tickets = tickets  # reads
+        self.values = values  # writes
 
     @property
     def is_read(self) -> bool:
         return self.tickets is not None
 
 
-@dataclass(frozen=True)
-class WordAccess:
+class WordAccess(NamedTuple):
     """A single-word access peeled off the head of an address FIFO."""
 
     bank_local_addr: int
@@ -59,6 +58,11 @@ class WordAccess:
     @property
     def is_read(self) -> bool:
         return self.ticket is not None
+
+
+#: Sentinel marking the head-word cache as needing recomputation (None is
+#: a valid cached value — it means "FIFO empty").
+_STALE = object()
 
 
 class AddressFifo:
@@ -77,6 +81,9 @@ class AddressFifo:
         self.lane = lane
         self._entries = deque()
         self._head_word = 0  # expansion counter at the FIFO head
+        # Arbitration re-peeks blocked heads every cycle, so the head
+        # word access is cached until push/advance/clear move the head.
+        self._head_cache = _STALE
 
     @property
     def occupancy(self) -> int:
@@ -96,23 +103,31 @@ class AddressFifo:
             raise SrfError("address FIFO overflow")
         if not access.words:
             raise SrfError("empty record access")
+        if not self._entries:
+            self._head_cache = _STALE  # pushing onto an empty FIFO moves the head
         self._entries.append(access)
 
     def peek_word(self) -> "WordAccess | None":
         """The head single-word access, or None when the FIFO is empty."""
+        cached = self._head_cache
+        if cached is not _STALE:
+            return cached
         if not self._entries:
-            return None
-        head = self._entries[0]
-        word = self._head_word
-        target_lane, addr = head.words[word]
-        return WordAccess(
-            bank_local_addr=addr,
-            target_lane=target_lane,
-            source_lane=self.lane,
-            stream_id=self.stream_id,
-            ticket=head.tickets[word] if head.tickets is not None else None,
-            value=head.values[word] if head.values is not None else None,
-        )
+            word = None
+        else:
+            head = self._entries[0]
+            index = self._head_word
+            target_lane, addr = head.words[index]
+            word = WordAccess(
+                bank_local_addr=addr,
+                target_lane=target_lane,
+                source_lane=self.lane,
+                stream_id=self.stream_id,
+                ticket=head.tickets[index] if head.tickets is not None else None,
+                value=head.values[index] if head.values is not None else None,
+            )
+        self._head_cache = word
+        return word
 
     def advance(self) -> None:
         """Consume the head word access (it was granted this cycle)."""
@@ -123,7 +138,9 @@ class AddressFifo:
         if self._head_word >= len(head.words):
             self._entries.popleft()
             self._head_word = 0
+        self._head_cache = _STALE
 
     def clear(self) -> None:
         self._entries.clear()
         self._head_word = 0
+        self._head_cache = _STALE

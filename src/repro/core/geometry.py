@@ -47,20 +47,20 @@ class SrfGeometry:
     words_per_lane_access: int
     subarrays_per_bank: int
 
-    @property
-    def total_words(self) -> int:
-        """Total SRF capacity in words across all banks."""
-        return self.lanes * self.bank_words
-
-    @property
-    def block_words(self) -> int:
-        """Words moved by one sequential SRF access (N x m)."""
-        return self.lanes * self.words_per_lane_access
-
-    @property
-    def subarray_words(self) -> int:
-        """Capacity of one sub-array in words."""
-        return self.bank_words // self.subarrays_per_bank
+    def __post_init__(self) -> None:
+        # Derived quantities, cached because address arithmetic sits on
+        # the per-word hot path of the simulator.
+        #: Total SRF capacity in words across all banks.
+        object.__setattr__(self, "total_words", self.lanes * self.bank_words)
+        #: Words moved by one sequential SRF access (N x m).
+        object.__setattr__(
+            self, "block_words", self.lanes * self.words_per_lane_access
+        )
+        #: Capacity of one sub-array in words.
+        object.__setattr__(
+            self, "subarray_words",
+            self.bank_words // self.subarrays_per_bank,
+        )
 
     # ------------------------------------------------------------------
     # Global <-> bank-local mapping

@@ -27,7 +27,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config.machine import MachineConfig
 from repro.core.address_fifo import AddressFifo, RecordAccess, WordAccess
@@ -215,15 +215,17 @@ class IndexedStream:
         else:
             self.robs = None
         self.outstanding_writes = 0
+        #: Word accesses queued across all lane FIFOs (kept as a counter
+        #: so per-cycle arbitration polls are O(1), not O(lanes)).
+        self.pending_words = 0
+        # Immutable per-stream facts, cached off the hot arbitration path.
+        self.is_crosslane = descriptor.kind.is_crosslane
+        self.is_read = descriptor.kind.is_read
         self._local_base = self._compute_local_base()
-
-    @property
-    def is_crosslane(self) -> bool:
-        return self.descriptor.kind.is_crosslane
-
-    @property
-    def is_read(self) -> bool:
-        return self.descriptor.kind.is_read
+        self._per_lane_single = (
+            descriptor.index_space is IndexSpace.PER_LANE
+            and descriptor.record_words == 1
+        )
 
     def _compute_local_base(self) -> int:
         geometry = self.srf.geometry
@@ -244,6 +246,8 @@ class IndexedStream:
                 f"{descriptor.name}: record index {record_index} out of "
                 f"range [0,{descriptor.length_records})"
             )
+        if self._per_lane_single:
+            return [(lane, self._local_base + record_index)]
         rw = descriptor.record_words
         if descriptor.index_space is IndexSpace.PER_LANE:
             start = self._local_base + record_index * rw
@@ -268,6 +272,7 @@ class IndexedStream:
         words = self.resolve(lane, record_index)
         tickets = [self.robs[lane].reserve() for _ in words]
         self.fifos[lane].push(RecordAccess(words=words, tickets=tickets))
+        self.pending_words += len(words)
 
     def issue_write(self, lane: int, record_index: int, values) -> None:
         """Enqueue a record write carrying its data words."""
@@ -281,6 +286,7 @@ class IndexedStream:
                 f"{self.descriptor.record_words} words"
             )
         self.fifos[lane].push(RecordAccess(words=words, values=values))
+        self.pending_words += len(words)
         self.outstanding_writes += len(words)
 
     def data_ready(self, lane: int) -> bool:
@@ -309,21 +315,10 @@ class IndexedStream:
     @property
     def quiescent(self) -> bool:
         """True when no addresses or writes remain in flight."""
-        if any(not fifo.is_empty for fifo in self.fifos):
-            return False
-        return self.outstanding_writes == 0
+        return self.pending_words == 0 and self.outstanding_writes == 0
 
     def pending_addresses(self) -> bool:
-        return any(not fifo.is_empty for fifo in self.fifos)
-
-
-@dataclass(order=True)
-class _InFlight:
-    """A pipelined SRF operation completing at ``due`` (heap entry)."""
-
-    due: int
-    sequence: int
-    action: object = field(compare=False)  # zero-arg callable
+        return self.pending_words > 0
 
 
 class StreamRegisterFile:
@@ -350,6 +345,7 @@ class StreamRegisterFile:
         self.stats = SrfStats()
         self._seq_ports = []
         self._indexed = {}  # stream_id -> IndexedStream
+        self._indexed_list = []  # same streams, in registration order
         self._global_arbiter = RoundRobinArbiter()
         self._seq_arbiter = RoundRobinArbiter()
         self._bank_arbiters = [RoundRobinArbiter() for _ in range(config.lanes)]
@@ -363,9 +359,15 @@ class StreamRegisterFile:
             source_bandwidth=max(1, config.crosslane_indexed_bandwidth or 1),
         )
         self.return_network = ReturnNetwork(lanes=config.lanes)
-        self._in_flight = []  # heap of _InFlight
+        # Sub-array decode factors, inlined on the per-word grant path
+        # (addresses there were already range-checked at issue time).
+        self._subarray_stride = self.geometry.words_per_lane_access
+        self._subarray_count = self.geometry.subarrays_per_bank
+        self._in_flight = []  # heap of (due, sequence, action) tuples
         self._sequence = itertools.count()
         self._comm_busy = False
+        self._occupancy_policy = config.indexed_arbitration == "occupancy"
+        self._shared_network = config.shared_interlane_network
         #: Per-bank grant cap for indexed word accesses per cycle.
         self._bank_cap = (
             min(config.inlane_indexed_bandwidth, config.subarrays_per_bank)
@@ -419,6 +421,7 @@ class StreamRegisterFile:
             )
         stream = IndexedStream(self, descriptor)
         self._indexed[descriptor.stream_id] = stream
+        self._indexed_list.append(stream)
         return stream
 
     def close_indexed(self, stream: IndexedStream) -> None:
@@ -427,6 +430,7 @@ class StreamRegisterFile:
                 f"{stream.descriptor.name}: closing with accesses in flight"
             )
         del self._indexed[stream.descriptor.stream_id]
+        self._indexed_list.remove(stream)
 
     # ------------------------------------------------------------------
     # Cycle stepping
@@ -445,18 +449,51 @@ class StreamRegisterFile:
         self.return_network.tick(comm_busy)
         self._arbitrate(cycle)
 
+    def next_event_cycle(self, cycle: int) -> "int | None":
+        """Earliest cycle at which :meth:`tick` could change state.
+
+        ``cycle`` itself when the next tick may arbitrate an access (a
+        port wants a grant, indexed addresses are queued, or return data
+        is waiting), the due cycle of the oldest pipelined completion
+        otherwise, and ``None`` when the SRF is fully quiescent. Cycles
+        before the returned value may be skipped via :meth:`fast_forward`
+        with results bit-identical to per-cycle ticking.
+        """
+        for port in self._seq_ports:
+            if port.wants_grant():
+                return cycle
+        for stream in self._indexed.values():
+            if stream.pending_words:
+                return cycle
+        if self.return_network.pending():
+            return cycle
+        if self._in_flight:
+            return self._in_flight[0][0]
+        return None
+
+    def fast_forward(self, cycles: int) -> None:
+        """Account ``cycles`` ticks in bulk across a quiescent window.
+
+        Only valid when :meth:`next_event_cycle` reported no possible
+        state change for the whole window (so arbitration, pipelined
+        completions, and the return network would all have been no-ops).
+        """
+        self.stats.cycles += cycles
+        self._comm_busy = False
+
     def schedule_fill(self, due: int, port: SequentialPort, per_lane) -> None:
         """Register a pipelined sequential read completion."""
         self._push_in_flight(due, lambda: port.deliver_fill(per_lane))
 
     def _push_in_flight(self, due: int, action) -> None:
         heapq.heappush(
-            self._in_flight, _InFlight(due, next(self._sequence), action)
+            self._in_flight, (due, next(self._sequence), action)
         )
 
     def _complete_due(self, cycle: int) -> None:
-        while self._in_flight and self._in_flight[0].due <= cycle:
-            heapq.heappop(self._in_flight).action()
+        heap = self._in_flight
+        while heap and heap[0][0] <= cycle:
+            heapq.heappop(heap)[2]()
 
     # ------------------------------------------------------------------
     # Arbitration (two-stage, §4.4)
@@ -469,9 +506,11 @@ class StreamRegisterFile:
         between the two classes; a second round-robin picks which
         sequential stream when that class wins."""
         sequential = [p for p in self._seq_ports if p.wants_grant()]
-        indexed_wanted = any(
-            s.pending_addresses() for s in self._indexed.values()
-        )
+        indexed_wanted = False
+        for s in self._indexed_list:
+            if s.pending_words:
+                indexed_wanted = True
+                break
         if not sequential and not indexed_wanted:
             return
         if sequential and indexed_wanted:
@@ -496,7 +535,7 @@ class StreamRegisterFile:
         # Candidate heads per bank: in-lane heads live at their own bank;
         # cross-lane heads are offered by their source lane to the target
         # bank of their head word access.
-        streams = list(self._indexed.values())
+        streams = self._indexed_list
         for bank in range(self.geometry.lanes):
             granted, blocked = self._grant_bank(bank, streams, cycle)
             granted_total += granted
@@ -508,10 +547,14 @@ class StreamRegisterFile:
     def _grant_bank(self, bank: int, streams, cycle: int) -> tuple:
         """Local arbitration for one bank; returns (granted, blocked)."""
         heads = []
+        lanes = self.geometry.lanes
         for stream in streams:
+            if not stream.pending_words:
+                continue
             if stream.is_crosslane:
-                for lane in range(self.geometry.lanes):
-                    word = stream.fifos[lane].peek_word()
+                fifos = stream.fifos
+                for lane in range(lanes):
+                    word = fifos[lane].peek_word()
                     if word is not None and word.target_lane == bank:
                         heads.append((stream, lane, word))
             else:
@@ -522,7 +565,7 @@ class StreamRegisterFile:
             return 0, 0
         used_subarrays = set()
         granted = 0
-        if self.config.indexed_arbitration == "occupancy":
+        if self._occupancy_policy:
             # Stall-aware policy (§5.4): serve the fullest address FIFOs
             # first — the streams most likely to stall the clusters.
             order = sorted(
@@ -535,12 +578,13 @@ class StreamRegisterFile:
             stream, lane, word = heads[position]
             if granted >= self._bank_cap:
                 break
-            subarray = self.geometry.subarray_of(word.bank_local_addr)
+            subarray = (
+                word.bank_local_addr // self._subarray_stride
+            ) % self._subarray_count
             if self._bank_cap > 1 and subarray in used_subarrays:
                 continue
             if stream.is_crosslane:
-                if (self.config.shared_interlane_network
-                        and self._comm_busy):
+                if self._shared_network and self._comm_busy:
                     continue  # the shared network carries the comm
                 if not self.return_network.bank_has_space(bank):
                     continue
@@ -549,6 +593,7 @@ class StreamRegisterFile:
                 self.return_network.reserve(bank)
             used_subarrays.add(subarray)
             stream.fifos[lane].advance()
+            stream.pending_words -= 1
             self._launch(stream, word, bank, cycle)
             granted += 1
         self._bank_arbiters[bank].advance(len(heads))

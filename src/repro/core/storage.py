@@ -101,6 +101,12 @@ class SrfStorage:
     def __init__(self, geometry: SrfGeometry):
         self._geometry = geometry
         self._words = [0] * geometry.total_words
+        # Mapping factors inlined into the lane accessors, which sit on
+        # the per-word hot path of indexed access.
+        self._lanes = geometry.lanes
+        self._bank_words = geometry.bank_words
+        self._lane_stride = geometry.words_per_lane_access
+        self._block_words = geometry.block_words
 
     @property
     def geometry(self) -> SrfGeometry:
@@ -137,11 +143,19 @@ class SrfStorage:
     # -- bank-local addressing -------------------------------------------
     def read_lane(self, lane: int, bank_local: int):
         """Read one word of a lane's bank by bank-local address."""
-        return self._words[self._geometry.join(lane, bank_local)]
+        if not (0 <= lane < self._lanes and 0 <= bank_local < self._bank_words):
+            self._geometry.join(lane, bank_local)  # raises the precise error
+        m = self._lane_stride
+        super_block, offset = divmod(bank_local, m)
+        return self._words[super_block * self._block_words + lane * m + offset]
 
     def write_lane(self, lane: int, bank_local: int, value) -> None:
         """Write one word of a lane's bank by bank-local address."""
-        self._words[self._geometry.join(lane, bank_local)] = value
+        if not (0 <= lane < self._lanes and 0 <= bank_local < self._bank_words):
+            self._geometry.join(lane, bank_local)  # raises the precise error
+        m = self._lane_stride
+        super_block, offset = divmod(bank_local, m)
+        self._words[super_block * self._block_words + lane * m + offset] = value
 
     def _check(self, addr: int) -> None:
         if not 0 <= addr < len(self._words):

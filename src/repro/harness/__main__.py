@@ -3,15 +3,42 @@
 Pass experiment names (``fig11 fig17 area ...``) to run a subset, and
 ``--json PATH`` to additionally dump the structured results. Set
 ``REPRO_SCALE`` (small / medium / paper) to choose workload sizes.
+
+``--jobs N`` fans independent experiments across N worker processes;
+``--cache-dir DIR`` / ``--no-cache`` control the on-disk result cache
+(default ``.repro-cache``, see :mod:`repro.harness.resultcache`).
 """
 
 from __future__ import annotations
 
 import json
 import sys
-import time
 
-from repro.harness import figures
+from repro.harness import figures, runner
+from repro.harness.resultcache import default_cache_dir
+
+USAGE = """\
+usage: python -m repro.harness [EXPERIMENT ...] [options]
+
+Runs every experiment when none is named. Known experiments:
+  {experiments}
+
+options:
+  --jobs N         run experiments in N parallel worker processes
+  --json PATH      also dump structured results as JSON to PATH
+  --cache-dir DIR  on-disk benchmark result cache (default {cache_dir})
+  --no-cache       disable the on-disk cache for this run
+  --list           list experiment names and exit
+
+Workload scale is chosen by the REPRO_SCALE environment variable
+(small / medium / paper; default small)."""
+
+
+def _usage() -> str:
+    return USAGE.format(
+        experiments=" ".join(runner.experiment_names()),
+        cache_dir=default_cache_dir(),
+    )
 
 
 def _jsonable(value):
@@ -24,48 +51,97 @@ def _jsonable(value):
     return str(value)
 
 
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    print(_usage(), file=sys.stderr)
+    return 2
+
+
+def _parse_args(argv):
+    """Split argv into (names, options) or raise ValueError."""
+    options = {"json": None, "jobs": 1, "cache_dir": default_cache_dir(),
+               "no_cache": False, "list": False}
+    names = []
+    position = 0
+    while position < len(argv):
+        token = argv[position]
+        if token in ("--json", "--jobs", "--cache-dir"):
+            if position + 1 >= len(argv):
+                raise ValueError(f"{token} requires a value")
+            value = argv[position + 1]
+            if token == "--json":
+                options["json"] = value
+            elif token == "--cache-dir":
+                options["cache_dir"] = value
+            else:
+                try:
+                    options["jobs"] = int(value)
+                except ValueError:
+                    raise ValueError(
+                        f"--jobs needs an integer, got {value!r}"
+                    ) from None
+                if options["jobs"] < 1:
+                    raise ValueError("--jobs must be >= 1")
+            position += 2
+            continue
+        if token == "--no-cache":
+            options["no_cache"] = True
+        elif token == "--list":
+            options["list"] = True
+        elif token in ("-h", "--help"):
+            options["help"] = True
+        elif token.startswith("-"):
+            raise ValueError(f"unknown option {token}")
+        else:
+            names.append(token)
+        position += 1
+    return names, options
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    json_path = None
-    if "--json" in argv:
-        position = argv.index("--json")
-        json_path = argv[position + 1]
-        argv = argv[:position] + argv[position + 2:]
-    wanted = set(argv)
-    experiments = [
-        ("table3", figures.table3),
-        ("table4", figures.table4),
-        ("area", figures.area_overheads),
-        ("energy", figures.energy_table),
-        ("energy_cmp", figures.energy_comparison),
-        ("fig11", figures.figure11),
-        ("fig12", figures.figure12),
-        ("fig13", figures.figure13),
-        ("fig14", figures.figure14),
-        ("fig15", figures.figure15),
-        ("fig16", figures.figure16),
-        ("fig17", figures.figure17),
-        ("fig18", figures.figure18),
-        ("headline", figures.headline),
-    ]
+    try:
+        names, options = _parse_args(argv)
+    except ValueError as exc:
+        return _fail(str(exc))
+    if options.get("help"):
+        print(_usage())
+        return 0
+    if options["list"]:
+        for name in runner.experiment_names():
+            print(name)
+        return 0
+    known = runner.experiment_names()
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        return _fail(f"unknown experiment(s): {', '.join(unknown)}")
+    selected = [name for name in known if name in set(names)] if names \
+        else known
+
+    cache_dir = None if options["no_cache"] else options["cache_dir"]
     scale = figures.default_scale()
-    print(f"# repro harness (scale: {scale})\n")
+    print(f"# repro harness (scale: {scale}, jobs: {options['jobs']})\n")
+    results, timings = runner.run_many(
+        selected, jobs=options["jobs"], cache_dir=cache_dir
+    )
     collected = {}
-    for name, fn in experiments:
-        if wanted and name not in wanted:
-            continue
-        start = time.time()
-        result = fn()
+    for name in selected:
+        result = results[name]
         print(result["text"])
-        print(f"[{name}: {time.time() - start:.1f}s]\n")
+        print(f"[{name}: {timings[name]:.1f}s]\n")
         collected[name] = {
             k: _jsonable(v) for k, v in result.items() if k != "text"
         }
-    if json_path is not None:
-        with open(json_path, "w") as handle:
-            json.dump({"scale": scale, "experiments": collected}, handle,
-                      indent=2)
-        print(f"wrote {json_path}")
+    if options["json"] is not None:
+        payload = {
+            "scale": scale,
+            "jobs": options["jobs"],
+            "timings_s": {k: round(v, 3) for k, v in timings.items()},
+            "experiments": collected,
+        }
+        with open(options["json"], "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {options['json']}")
     return 0
 
 

@@ -50,6 +50,10 @@ BENCHMARKS = (
 
 _run_cache = {}
 
+#: Optional on-disk cache (see :mod:`repro.harness.resultcache`),
+#: installed by the CLI / parallel runner via :func:`set_result_cache`.
+_result_cache = None
+
 
 def default_scale() -> str:
     scale = os.environ.get("REPRO_SCALE", "small")
@@ -62,13 +66,24 @@ def clear_cache() -> None:
     _run_cache.clear()
 
 
+def set_result_cache(cache) -> None:
+    """Install (or with None, remove) a disk cache behind run_benchmark."""
+    global _result_cache
+    _result_cache = cache
+
+
 def run_benchmark(name: str, config, scale: str) -> AppResult:
     """Run (and cache) one benchmark on one machine configuration."""
-    key = (name, config.name, scale,
-           config.inlane_addr_data_separation,
-           config.crosslane_addr_data_separation)
+    # Key on the full config repr: name alone would alias derived
+    # variants (e.g. separation sweeps or fast_forward toggles).
+    key = (name, repr(config), scale)
     if key in _run_cache:
         return _run_cache[key]
+    if _result_cache is not None:
+        cached = _result_cache.get(name, config, scale)
+        if cached is not None:
+            _run_cache[key] = cached
+            return cached
     params = SCALES[scale]
     if name == "FFT 2D":
         result = fft.run(config, n=params["fft_n"])
@@ -88,6 +103,8 @@ def run_benchmark(name: str, config, scale: str) -> AppResult:
         raise ValueError(f"unknown benchmark {name!r}")
     result.require_verified()
     _run_cache[key] = result
+    if _result_cache is not None:
+        _result_cache.put(name, config, scale, result)
     return result
 
 

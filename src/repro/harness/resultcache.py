@@ -1,0 +1,123 @@
+"""Keyed on-disk cache for benchmark results.
+
+Running the full figure suite re-simulates the same (benchmark, config,
+scale) triples many times across processes and invocations. The
+:class:`ResultCache` persists each verified :class:`AppResult` to disk so
+repeat runs — and the worker processes of the parallel runner — can skip
+the simulation entirely.
+
+Keys combine a *code fingerprint* (a hash over every ``repro`` source
+file) with the benchmark name, the full machine configuration ``repr``,
+and the workload scale, so any source change or config tweak invalidates
+the cache automatically. Deleting the cache directory (default
+``.repro-cache``, overridable via ``REPRO_CACHE_DIR``) is always safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file, for cache invalidation.
+
+    Any edit to the simulator invalidates all cached results; stale
+    results can never be served after a code change.
+    """
+    import repro
+
+    package_root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for directory, subdirs, files in sorted(os.walk(package_root)):
+        subdirs.sort()
+        for filename in sorted(files):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(directory, filename)
+            digest.update(os.path.relpath(path, package_root).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-entry disk cache of benchmark results.
+
+    Writes are atomic (temp file + :func:`os.replace`) so concurrent
+    worker processes can share one cache directory without locking: the
+    worst case is two workers computing the same entry, and last-write
+    wins with identical content.
+    """
+
+    def __init__(self, directory: "str | None" = None):
+        self.directory = directory or default_cache_dir()
+        self._fingerprint = code_fingerprint()
+
+    # ------------------------------------------------------------------
+    def key(self, benchmark: str, config, scale: str) -> str:
+        """Stable key for one (benchmark, config, scale) triple."""
+        payload = "\n".join(
+            [self._fingerprint, benchmark, repr(config), scale]
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    # ------------------------------------------------------------------
+    def get(self, benchmark: str, config, scale: str):
+        """Cached result, or None on miss / unreadable entry."""
+        path = self._path(self.key(benchmark, config, scale))
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            return None  # missing or stale/corrupt entry: recompute
+
+    def put(self, benchmark: str, config, scale: str, result) -> None:
+        """Store a result; failures to write are non-fatal."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(self.key(benchmark, config, scale))
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, path)
+        except OSError:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete all cache entries; returns how many were removed."""
+        removed = 0
+        try:
+            entries = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for filename in entries:
+            if filename.endswith((".pkl", ".tmp")):
+                try:
+                    os.unlink(os.path.join(self.directory, filename))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,113 @@
+"""Experiment registry and parallel execution for the harness.
+
+The figure/table experiments are independent of one another, so the CLI
+can fan them out across worker processes with :func:`run_many`. Workers
+share results through the on-disk :class:`~repro.harness.resultcache.
+ResultCache` rather than through memory: each worker installs the cache
+behind ``run_benchmark``, so a (benchmark, config, scale) triple
+simulated by one worker is a cache hit for every later experiment that
+needs it — in this run or the next.
+
+Workload scale is selected by the ``REPRO_SCALE`` environment variable
+(as everywhere else in the harness); forked workers inherit it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.harness import figures
+
+#: Experiment name -> runner, in report order (the CLI preserves it).
+EXPERIMENTS = {
+    "table3": figures.table3,
+    "table4": figures.table4,
+    "area": figures.area_overheads,
+    "energy": figures.energy_table,
+    "energy_cmp": figures.energy_comparison,
+    "fig11": figures.figure11,
+    "fig12": figures.figure12,
+    "fig13": figures.figure13,
+    "fig14": figures.figure14,
+    "fig15": figures.figure15,
+    "fig16": figures.figure16,
+    "fig17": figures.figure17,
+    "fig18": figures.figure18,
+    "headline": figures.headline,
+}
+
+
+def experiment_names() -> list:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(name: str) -> dict:
+    """Run one registered experiment; returns its result dict."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r} "
+            f"(known: {', '.join(EXPERIMENTS)})"
+        ) from None
+    return runner()
+
+
+# ----------------------------------------------------------------------
+# Parallel execution
+# ----------------------------------------------------------------------
+def _init_worker(cache_dir: "str | None") -> None:
+    """Install the shared disk cache inside a worker process."""
+    if cache_dir is not None:
+        from repro.harness.resultcache import ResultCache
+
+        figures.set_result_cache(ResultCache(cache_dir))
+
+
+def _run_timed(name: str) -> tuple:
+    start = time.perf_counter()
+    result = run_experiment(name)
+    return name, result, time.perf_counter() - start
+
+
+def run_many(names, jobs: int = 1,
+             cache_dir: "str | None" = None) -> "tuple[dict, dict]":
+    """Run experiments, optionally across ``jobs`` worker processes.
+
+    Returns ``(results, timings)``: experiment name -> result dict and
+    name -> wall-clock seconds, both in the order of ``names``. With
+    ``jobs <= 1`` everything runs in-process (sharing the in-memory
+    benchmark cache); with more, a ``fork`` pool is used so workers
+    inherit the parent's imports cheaply, and simulated benchmarks are
+    shared between experiments through the disk cache instead.
+    """
+    names = list(names)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiments: {', '.join(unknown)}")
+    results = {}
+    timings = {}
+    if jobs <= 1 or len(names) <= 1:
+        previous = figures._result_cache
+        _init_worker(cache_dir)
+        try:
+            for name in names:
+                name, result, elapsed = _run_timed(name)
+                results[name] = result
+                timings[name] = elapsed
+        finally:
+            figures.set_result_cache(previous)
+        return results, timings
+    context = multiprocessing.get_context("fork")
+    with context.Pool(
+        processes=min(jobs, len(names)),
+        initializer=_init_worker,
+        initargs=(cache_dir,),
+    ) as pool:
+        for name, result, elapsed in pool.imap(_run_timed, names):
+            results[name] = result
+            timings[name] = elapsed
+    ordered = {name: results[name] for name in names}
+    ordered_timings = {name: timings[name] for name in names}
+    return ordered, ordered_timings

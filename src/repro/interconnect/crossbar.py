@@ -123,6 +123,8 @@ class ReturnNetwork:
             waiting = self.pending()
             self.stats.deferred_word_cycles += waiting
             return 0
+        if not any(self._queues):
+            return 0
         remaining = [slots] * self.lanes
         delivered = 0
         for queue in self._queues:

@@ -83,6 +83,18 @@ class KernelInterpreter:
         self._carry_state = {
             carry.name: [carry.init_value] * lanes for carry in kernel.carries
         }
+        # CONST/LANEID values never change between iterations (and no op
+        # mutates a value list in place), so evaluate them once and seed
+        # each iteration's value map with the result.
+        self._static_values = {}
+        self._dynamic_ops = []
+        for op in kernel.ops:
+            if op.kind is OpKind.CONST:
+                self._static_values[op.op_id] = [op.value] * lanes
+            elif op.kind is OpKind.LANEID:
+                self._static_values[op.op_id] = list(range(lanes))
+            else:
+                self._dynamic_ops.append(op)
 
     def carry_values(self, name: str) -> list:
         """Current per-lane values of a named carry (for app inspection)."""
@@ -96,18 +108,14 @@ class KernelInterpreter:
         """Execute one iteration across all lanes; returns its trace."""
         lanes = self.lanes
         trace = IterationTrace(self.iterations_run)
-        values = {}  # op_id -> per-lane list
+        values = dict(self._static_values)  # op_id -> per-lane list
 
-        for op in self.kernel.ops:
+        for op in self._dynamic_ops:
             kind = op.kind
-            if kind is OpKind.CONST:
-                values[op.op_id] = [op.value] * lanes
-            elif kind is OpKind.LANEID:
-                values[op.op_id] = list(range(lanes))
+            if kind in (OpKind.ARITH, OpKind.LOGIC, OpKind.MUL, OpKind.DIV):
+                values[op.op_id] = self._apply(op, values)
             elif kind is OpKind.CARRY:
                 values[op.op_id] = list(self._carry_state[op.carry.name])
-            elif kind in (OpKind.ARITH, OpKind.LOGIC, OpKind.MUL, OpKind.DIV):
-                values[op.op_id] = self._apply(op, values)
             elif kind is OpKind.SEQ_READ:
                 lane_values = self.context.seq_read(op.stream)
                 self._expect_width(op, lane_values)
@@ -163,11 +171,26 @@ class KernelInterpreter:
 
     # ------------------------------------------------------------------
     def _apply(self, op, values) -> list:
-        operand_values = [values[operand.op_id] for operand in op.operands]
+        operands = op.operands
+        payload = op.payload
+        # Payloads are pure, so the error path below can re-run lane by
+        # lane to identify the failing lane for the report.
+        try:
+            if len(operands) == 2:
+                return [
+                    payload(x, y)
+                    for x, y in zip(values[operands[0].op_id],
+                                    values[operands[1].op_id])
+                ]
+            if len(operands) == 1:
+                return [payload(x) for x in values[operands[0].op_id]]
+        except Exception:
+            pass
+        operand_values = [values[operand.op_id] for operand in operands]
         result = []
         for lane in range(self.lanes):
             try:
-                result.append(op.payload(*[v[lane] for v in operand_values]))
+                result.append(payload(*[v[lane] for v in operand_values]))
             except Exception as exc:
                 raise ExecutionError(
                     f"{self.kernel.name}: payload of {op.name} failed on "

@@ -95,9 +95,16 @@ class DependenceEdge:
     distance: int = 0
 
 
-@dataclass
+@dataclass(eq=False)
 class Kernel:
-    """A complete kernel: streams, ops in topological order, carries."""
+    """A complete kernel: streams, ops in topological order, carries.
+
+    Kernels compare (and hash) by identity: a kernel's ops carry
+    process-unique ``op_id``s, so two structurally identical kernels are
+    still distinct schedulable entities — and identity hashing lets
+    machine-level caches key on the kernel object itself instead of the
+    recyclable ``id()`` of a possibly-collected object.
+    """
 
     name: str
     ops: list = field(default_factory=list)

@@ -46,37 +46,136 @@ def min_ii_recurrence(kernel: Kernel, inlane_separation: int,
     edges = kernel.dependence_edges(
         inlane_separation, crosslane_separation, stream_capacity_words
     )
-    cyclic = [e for e in edges if e.distance > 0]
-    if not cyclic:
+    if not any(e.distance > 0 for e in edges):
         return 1
-    low, high = 1, MAX_II
-    if _has_positive_cycle(kernel, edges, high):
+    # Dependence cycles live entirely within strongly connected
+    # components, so the Bellman–Ford checks only need the intra-SCC
+    # subgraph — usually a small fraction of a mostly-acyclic kernel.
+    node_count, compact = _cycle_subgraph(edges)
+    if node_count == 0:
+        return 1  # distance>0 edges exist but close no cycle
+    # Any dependence cycle with distance >= 1 needs at most
+    # II = sum of positive latencies, so the search can start well below
+    # MAX_II; a positive cycle surviving that bound has zero distance and
+    # would survive MAX_II too (it is unsatisfiable at any II).
+    latency_cap = sum(
+        latency for _, _, latency, _ in compact if latency > 0
+    )
+    low, high = 1, min(MAX_II, max(1, latency_cap))
+    if _positive_cycle(node_count, compact, high):
         raise ScheduleError(
             f"{kernel.name}: recurrence cannot be satisfied below II={MAX_II}"
         )
     while low < high:
         mid = (low + high) // 2
-        if _has_positive_cycle(kernel, edges, mid):
+        if _positive_cycle(node_count, compact, mid):
             low = mid + 1
         else:
             high = mid
     return low
 
 
-def _has_positive_cycle(kernel: Kernel, edges, ii: int) -> bool:
+def _cycle_subgraph(edges) -> tuple:
+    """Intra-SCC subgraph of the dependence graph, densely renumbered.
+
+    Returns ``(node_count, [(source, sink, latency, distance), ...])``
+    keeping only edges whose endpoints share a strongly connected
+    component (including self-loops) — exactly the edges that can lie on
+    a dependence cycle.
+    """
+    adjacency = {}
+    for edge in edges:
+        adjacency.setdefault(edge.source.op_id, []).append(edge.sink.op_id)
+        adjacency.setdefault(edge.sink.op_id, [])
+    scc_of = _strongly_connected(adjacency)
+    kept = [
+        e for e in edges
+        if scc_of[e.source.op_id] == scc_of[e.sink.op_id]
+    ]
+    nodes = sorted(
+        {e.source.op_id for e in kept} | {e.sink.op_id for e in kept}
+    )
+    renumber = {op_id: i for i, op_id in enumerate(nodes)}
+    compact = [
+        (renumber[e.source.op_id], renumber[e.sink.op_id],
+         e.latency, e.distance)
+        for e in kept
+    ]
+    return len(nodes), compact
+
+
+def _strongly_connected(adjacency: dict) -> dict:
+    """Iterative Tarjan SCC; returns node -> component id."""
+    index = {}
+    lowlink = {}
+    on_stack = {}
+    stack = []
+    scc_of = {}
+    next_index = 0
+    next_scc = 0
+    for root in adjacency:
+        if root in index:
+            continue
+        work = [(root, 0)]
+        while work:
+            node, pointer = work.pop()
+            if pointer == 0:
+                index[node] = lowlink[node] = next_index
+                next_index += 1
+                stack.append(node)
+                on_stack[node] = True
+            descended = False
+            neighbors = adjacency[node]
+            while pointer < len(neighbors):
+                succ = neighbors[pointer]
+                pointer += 1
+                if succ not in index:
+                    work.append((node, pointer))
+                    work.append((succ, 0))
+                    descended = True
+                    break
+                if on_stack.get(succ) and index[succ] < lowlink[node]:
+                    lowlink[node] = index[succ]
+            if descended:
+                continue
+            if lowlink[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    scc_of[member] = next_scc
+                    if member == node:
+                        break
+                next_scc += 1
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+    return scc_of
+
+
+def _positive_cycle(node_count: int, compact, ii: int) -> bool:
     """Bellman–Ford check: does any cycle have latency > II * distance?"""
-    distance = {op.op_id: 0.0 for op in kernel.ops}
-    node_count = len(kernel.ops)
-    for iteration in range(node_count):
+    weighted = [
+        (source, sink, latency - ii * distance)
+        for source, sink, latency, distance in compact
+    ]
+    # A walk whose accumulated weight exceeds the sum of all positive
+    # edge weights must traverse a positive cycle (any acyclic walk is
+    # bounded by that sum), so growth past the bound ends the search
+    # early instead of running all node_count relaxation rounds.
+    bound = sum(weight for _, _, weight in weighted if weight > 0)
+    distance = [0.0] * node_count
+    for _iteration in range(node_count):
         changed = False
-        for edge in edges:
-            weight = edge.latency - ii * edge.distance
-            candidate = distance[edge.source.op_id] + weight
-            if candidate > distance[edge.sink.op_id] + 1e-9:
-                distance[edge.sink.op_id] = candidate
+        for source, sink, weight in weighted:
+            candidate = distance[source] + weight
+            if candidate > distance[sink] + 1e-9:
+                distance[sink] = candidate
                 changed = True
         if not changed:
             return False
+        if max(distance) > bound:
+            return True
     return True
 
 

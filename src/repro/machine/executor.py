@@ -113,13 +113,14 @@ class _IdxIssue(_Event):
         self.indices = indices  # per-lane record index or None
 
     def fire(self, executor) -> bool:
-        lanes = [
-            lane for lane, idx in enumerate(self.indices) if idx is not None
-        ]
-        if not all(self.stream.can_issue(lane) for lane in lanes):
-            return False
-        for lane in lanes:
-            self.stream.issue_read(lane, self.indices[lane])
+        stream = self.stream
+        indices = self.indices
+        for lane, idx in enumerate(indices):
+            if idx is not None and not stream.can_issue(lane):
+                return False
+        for lane, idx in enumerate(indices):
+            if idx is not None:
+                stream.issue_read(lane, idx)
         return True
 
 
@@ -132,11 +133,14 @@ class _IdxData(_Event):
         self.counts = counts  # per-lane words expected (0 = predicated off)
 
     def fire(self, executor) -> bool:
-        lanes = [lane for lane, n in enumerate(self.counts) if n]
-        if not all(self.stream.record_ready(lane) for lane in lanes):
-            return False
-        for lane in lanes:
-            self.stream.pop_record(lane)
+        stream = self.stream
+        counts = self.counts
+        for lane, n in enumerate(counts):
+            if n and not stream.record_ready(lane):
+                return False
+        for lane, n in enumerate(counts):
+            if n:
+                stream.pop_record(lane)
         return True
 
 
@@ -149,14 +153,14 @@ class _IdxWrite(_Event):
         self.entries = entries  # per-lane (index, [words]) or None
 
     def fire(self, executor) -> bool:
-        lanes = [
-            lane for lane, entry in enumerate(self.entries) if entry is not None
-        ]
-        if not all(self.stream.can_issue(lane) for lane in lanes):
-            return False
-        for lane in lanes:
-            index, words = self.entries[lane]
-            self.stream.issue_write(lane, index, words)
+        stream = self.stream
+        entries = self.entries
+        for lane, entry in enumerate(entries):
+            if entry is not None and not stream.can_issue(lane):
+                return False
+        for lane, entry in enumerate(entries):
+            if entry is not None:
+                stream.issue_write(lane, entry[0], entry[1])
         return True
 
 
@@ -300,6 +304,25 @@ class KernelExecutor:
     # ------------------------------------------------------------------
     # Cycle stepping
     # ------------------------------------------------------------------
+    @property
+    def startup_remaining(self) -> int:
+        """Microcode-load cycles left before the first loop iteration."""
+        return self._startup_remaining
+
+    def fast_forward(self, cycles: int) -> None:
+        """Consume ``cycles`` of the fixed startup delay in bulk.
+
+        Equivalent to ``cycles`` calls to :meth:`step` while the startup
+        countdown is running (each would only bump the cycle counter).
+        """
+        if cycles > self._startup_remaining:
+            raise ExecutionError(
+                f"{self.invocation.name}: cannot fast-forward {cycles} "
+                f"cycles with {self._startup_remaining} startup cycles left"
+            )
+        self.stats.total_cycles += cycles
+        self._startup_remaining -= cycles
+
     def step(self) -> bool:
         """Advance one machine cycle; returns comm_busy for this cycle.
 

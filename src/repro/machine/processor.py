@@ -34,7 +34,8 @@ from repro.memory.controller import MemoryController
 from repro.memory.mainmem import MainMemory
 
 #: Abort knob: a program making no forward progress for this many cycles
-#: is declared deadlocked (a bug in the program or the model).
+#: is declared deadlocked (a bug in the program or the model). Used when
+#: :attr:`MachineConfig.deadlock_cycles` is None.
 DEADLOCK_CYCLES = 200_000
 
 
@@ -53,9 +54,16 @@ class StreamProcessor:
 
     # ------------------------------------------------------------------
     def schedule_kernel(self, kernel: Kernel) -> StaticSchedule:
-        """Schedule (and cache) a kernel with this machine's separations."""
+        """Schedule (and cache) a kernel with this machine's separations.
+
+        The cache keys on the kernel object itself (kernels hash by
+        identity), keeping a strong reference for the processor's
+        lifetime. Keying on ``id(kernel)`` would silently hand a new
+        kernel that reuses a collected kernel's address the *wrong*
+        cached schedule.
+        """
         key = (
-            id(kernel),
+            kernel,
             self.config.inlane_addr_data_separation,
             self.config.crosslane_addr_data_separation,
         )
@@ -68,45 +76,99 @@ class StreamProcessor:
             )
         return self._schedule_cache[key]
 
+    @property
+    def deadlock_limit(self) -> int:
+        """Effective no-progress abort threshold for this machine."""
+        if self.config.deadlock_cycles is not None:
+            return self.config.deadlock_cycles
+        return DEADLOCK_CYCLES
+
     # ------------------------------------------------------------------
     def run_program(self, program: StreamProgram) -> ProgramStats:
-        """Execute a stream program to completion; returns its stats."""
+        """Execute a stream program to completion; returns its stats.
+
+        The loop is event-aware: task scans rerun only when a completion
+        can have changed readiness, and stretches of cycles in which no
+        component can change state (DRAM latency windows, bandwidth
+        credit refills, kernel startup with quiescent stream units) are
+        skipped in bulk via the components' ``next_event_cycle`` /
+        ``fast_forward`` protocol. Stats are bit-identical to per-cycle
+        stepping (``MachineConfig.fast_forward=False``).
+        """
         program.validate()
         stats = ProgramStats(name=program.name)
         start_cycle = self.cycle
         start_traffic = self.controller.offchip_traffic_words
+        limit = self.deadlock_limit
+        use_fast_forward = self.config.fast_forward
 
         completed = set()
-        issued_memory = set()
         running = None  # (task, executor, srf-stat snapshot)
-        remaining = list(program.tasks)
+        mem_waiting = [t for t in program.tasks if not t.is_kernel]
+        kernel_waiting = [t for t in program.tasks if t.is_kernel]
+        mem_inflight = []  # issued memory tasks not yet complete
+        remaining_count = len(program.tasks)
+        retired_ops = self.controller.completed_ops
+        scan_needed = True
         last_progress_cycle = self.cycle
 
-        while remaining or running is not None:
+        while remaining_count:
             progressed = False
 
-            # Issue every ready memory transfer.
-            for task in remaining:
-                if task.is_kernel or task.task_id in issued_memory:
-                    continue
-                if all(dep in completed for dep in task.deps):
-                    self.controller.issue(task.work, self.cycle)
-                    issued_memory.add(task.task_id)
-                    progressed = True
+            # Readiness only changes when `completed` grows (or at the
+            # start), so the dependence scans are event-driven.
+            if scan_needed:
+                # Issue every ready memory transfer, in program order.
+                if mem_waiting:
+                    held_back = []
+                    for task in mem_waiting:
+                        if all(dep in completed for dep in task.deps):
+                            self.controller.issue(task.work, self.cycle)
+                            mem_inflight.append(task)
+                            progressed = True
+                        else:
+                            held_back.append(task)
+                    mem_waiting = held_back
+                # Start the next ready kernel (one at a time).
+                if running is None:
+                    for position, task in enumerate(kernel_waiting):
+                        if all(dep in completed for dep in task.deps):
+                            schedule = self.schedule_kernel(task.work.kernel)
+                            executor = KernelExecutor(
+                                self.config, self.srf, task.work, schedule
+                            )
+                            running = (task, executor, self._srf_snapshot())
+                            del kernel_waiting[position]
+                            progressed = True
+                            break
+                scan_needed = False
 
-            # Start the next ready kernel (one at a time).
-            if running is None:
-                for task in remaining:
-                    if not task.is_kernel:
-                        continue
-                    if all(dep in completed for dep in task.deps):
-                        schedule = self.schedule_kernel(task.work.kernel)
-                        executor = KernelExecutor(
-                            self.config, self.srf, task.work, schedule
+            # Fast-forward across provably inert cycles.
+            if use_fast_forward and (
+                running is None or running[1].startup_remaining > 0
+            ):
+                skip = self._fast_forward_window(
+                    running, progressed, last_progress_cycle, limit
+                )
+                if skip > 0:
+                    self.controller.fast_forward(skip)
+                    self.srf.fast_forward(skip)
+                    if running is None:
+                        if self.controller.busy:
+                            stats.memory_stall_cycles += skip
+                        else:
+                            stats.idle_cycles += skip
+                    else:
+                        running[1].fast_forward(skip)
+                    if progressed:
+                        last_progress_cycle = self.cycle + 1
+                    self.cycle += skip
+                    if self.cycle - last_progress_cycle > limit:
+                        raise ExecutionError(
+                            f"{program.name}: no progress for {limit} "
+                            f"cycles ({remaining_count} tasks left)"
                         )
-                        running = (task, executor, self._srf_snapshot())
-                        progressed = True
-                        break
+                    continue
 
             # One machine cycle.
             self.controller.tick(self.cycle)
@@ -118,7 +180,7 @@ class StreamProcessor:
             if running is None:
                 if self.controller.busy:
                     stats.memory_stall_cycles += 1
-                elif remaining:
+                else:
                     stats.idle_cycles += 1
 
             # Retire finished work.
@@ -127,24 +189,30 @@ class StreamProcessor:
                 self._finish_kernel(executor, snapshot)
                 stats.kernel_runs.append(executor.stats)
                 completed.add(task.task_id)
-                remaining.remove(task)
+                remaining_count -= 1
                 running = None
                 progressed = True
-            for task in list(remaining):
-                if not task.is_kernel and self.controller.is_complete(
-                    task.work.op_id
-                ):
-                    completed.add(task.task_id)
-                    remaining.remove(task)
-                    progressed = True
+                scan_needed = True
+            if mem_inflight and self.controller.completed_ops != retired_ops:
+                retired_ops = self.controller.completed_ops
+                still_inflight = []
+                for task in mem_inflight:
+                    if self.controller.is_complete(task.work.op_id):
+                        completed.add(task.task_id)
+                        remaining_count -= 1
+                        progressed = True
+                        scan_needed = True
+                    else:
+                        still_inflight.append(task)
+                mem_inflight = still_inflight
 
             self.cycle += 1
             if progressed:
                 last_progress_cycle = self.cycle
-            elif self.cycle - last_progress_cycle > DEADLOCK_CYCLES:
+            elif self.cycle - last_progress_cycle > limit:
                 raise ExecutionError(
-                    f"{program.name}: no progress for {DEADLOCK_CYCLES} "
-                    f"cycles ({len(remaining)} tasks left)"
+                    f"{program.name}: no progress for {limit} "
+                    f"cycles ({remaining_count} tasks left)"
                 )
 
         stats.total_cycles = self.cycle - start_cycle
@@ -152,6 +220,35 @@ class StreamProcessor:
             self.controller.offchip_traffic_words - start_traffic
         )
         return stats
+
+    def _fast_forward_window(self, running, progressed: bool,
+                             last_progress_cycle: int, limit: int) -> int:
+        """Cycles safely skippable from ``self.cycle``, possibly 0.
+
+        A cycle is skippable when neither the memory controller nor the
+        SRF can change state during it and any running kernel is still
+        in its fixed startup countdown — ticking it would only bump
+        counters, which the caller charges in bulk. The window is capped
+        at the deadlock horizon so a stuck program aborts on exactly the
+        same cycle as per-cycle stepping.
+        """
+        cycle = self.cycle
+        mem_next = self.controller.next_event_cycle(cycle)
+        if mem_next == cycle:
+            return 0
+        srf_next = self.srf.next_event_cycle(cycle)
+        if srf_next is not None and srf_next <= cycle:
+            return 0
+        effective_progress = cycle + 1 if progressed else last_progress_cycle
+        horizon = effective_progress + limit  # last no-progress tick
+        candidates = [horizon + 1]
+        if mem_next is not None:
+            candidates.append(mem_next)
+        if srf_next is not None:
+            candidates.append(srf_next)
+        if running is not None:
+            candidates.append(cycle + running[1].startup_remaining)
+        return max(0, min(candidates) - cycle)
 
     def run_programs(self, programs) -> list:
         """Run several programs back to back; returns their stats."""

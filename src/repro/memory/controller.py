@@ -28,6 +28,18 @@ from repro.memory.mainmem import MainMemory
 from repro.memory.ops import StreamMemoryOp
 
 
+def _accrual_cycles_until_positive(credit: float, step: float,
+                                   cap: float) -> int:
+    """Idle cycles before a per-cycle ``min(credit + step, cap)`` refill
+    lifts ``credit`` above zero (0 = the very next accrual suffices)."""
+    accruals = 0
+    while True:
+        credit = min(credit + step, cap)
+        accruals += 1
+        if credit > 0.0:
+            return accruals - 1
+
+
 @dataclass
 class MemoryStats:
     """Aggregate controller statistics."""
@@ -49,6 +61,7 @@ class MemoryPort:
     def __init__(self, op: "_ActiveOp", srf: StreamRegisterFile):
         self._op = op
         self._srf = srf
+        self._into_srf = op.op.into_srf
         geometry = srf.geometry
         self.block_words = geometry.block_words
         self._total_blocks = geometry.blocks_spanned(
@@ -69,16 +82,16 @@ class MemoryPort:
         return base, width
 
     def wants_grant(self) -> bool:
-        if self.srf_done:
+        if self._blocks_done >= self._total_blocks:
             return False
         _base, width = self._block_window()
-        if self._op.op.into_srf:
+        if self._into_srf:
             return self._op.staged_available() >= width
         return self._op.staging_space() >= width
 
     def on_grant(self, cycle: int) -> int:
         base, width = self._block_window()
-        if self._op.op.into_srf:
+        if self._into_srf:
             values = self._op.consume_staged(width)
             self._srf.storage.write_range(base, values)
         else:
@@ -98,6 +111,7 @@ class _ActiveOp:
     def __init__(self, op: StreamMemoryOp, srf: StreamRegisterFile,
                  issue_cycle: int, ready_cycle: int):
         self.op = op
+        self.into_srf = op.into_srf
         self.issue_cycle = issue_cycle
         self.ready_cycle = ready_cycle
         self.mem_cursor = 0  # words moved on the DRAM/cache side
@@ -135,7 +149,7 @@ class _ActiveOp:
 
     @property
     def done(self) -> bool:
-        if self.op.into_srf:
+        if self.into_srf:
             return self.mem_done and self.port.srf_done
         return self.port.srf_done and self.mem_done and (
             self.staged_available() == 0
@@ -189,6 +203,93 @@ class MemoryController:
     def busy(self) -> bool:
         return bool(self._active)
 
+    @property
+    def completed_ops(self) -> int:
+        """Total stream memory ops retired so far (monotonic)."""
+        return len(self._completed)
+
+    # ------------------------------------------------------------------
+    # Fast-forward support
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> "int | None":
+        """Earliest cycle at which :meth:`tick` could change state.
+
+        Returns ``cycle`` itself when the upcoming tick may do real work
+        (a retirement is pending, or a ready transfer can move a word),
+        a future cycle when every active op is waiting out a fixed
+        latency or a bandwidth-credit refill, and ``None`` when any
+        remaining activity is driven purely from the SRF side (or there
+        is none). Callers may skip the intervening cycles provided they
+        route them through :meth:`fast_forward` so credit accrual and
+        busy accounting stay bit-identical to per-cycle stepping.
+        """
+        nxt = None
+        for active in self._active:
+            if active.done:
+                return cycle  # retirement pending at the next tick
+            if active.mem_done:
+                continue  # progress now comes through the SRF port
+            if active.ready_cycle > cycle:
+                candidate = active.ready_cycle
+            else:
+                wait = self._transfer_stall_cycles(active)
+                if wait is None:
+                    continue  # blocked on the SRF side, not on memory
+                if wait == 0:
+                    return cycle
+                candidate = cycle + wait
+            if nxt is None or candidate < nxt:
+                nxt = candidate
+        return nxt
+
+    def _transfer_stall_cycles(self, active: _ActiveOp) -> "int | None":
+        """Cycles before ``active`` could move its next word, or None.
+
+        Mirrors the gating of :meth:`_move_one_word` without side
+        effects. ``None`` means the op waits on SRF-port progress (its
+        stream-buffer staging), which the SRF reports separately; an
+        integer means the op is bandwidth-bound and unblocks after that
+        many credit-accrual cycles.
+        """
+        op = active.op
+        if active.into_srf:
+            if active.staging_space() <= 0:
+                return None
+        elif active.staged_available() <= 0:
+            return None
+        if op.cacheable and self.cache is not None:
+            wait = _accrual_cycles_until_positive(
+                self._cache_credit,
+                self.cache.words_per_cycle,
+                4.0 * self.cache.words_per_cycle,
+            )
+            addr = op.mem_addrs[active.mem_cursor]
+            if not self.cache.probe(addr):
+                wait = max(wait, self.dram.cycles_until_can_access())
+            return wait
+        return self.dram.cycles_until_can_access()
+
+    def fast_forward(self, cycles: int) -> None:
+        """Apply ``cycles`` ticks of counter-only bookkeeping in bulk.
+
+        Only valid when :meth:`next_event_cycle` reported no possible
+        state change for the whole window: accrues DRAM/cache bandwidth
+        credit exactly as ``cycles`` calls to :meth:`tick` would and
+        charges busy-cycle accounting, without scanning transfers.
+        """
+        self.dram.accrue_idle_cycles(cycles)
+        if self.cache is not None:
+            credit = self._cache_credit
+            step = self.cache.words_per_cycle
+            cap = 4.0 * step
+            for _ in range(cycles):
+                if credit == cap:
+                    break
+                credit = min(credit + step, cap)
+            self._cache_credit = credit
+        if self._active:
+            self.stats.busy_cycles += cycles
+
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
         """Advance DRAM/cache transfers by one cycle."""
@@ -224,13 +325,14 @@ class MemoryController:
     def _move_one_word(self, active: _ActiveOp) -> bool:
         """Try to move the next word of ``active`` on the memory side."""
         op = active.op
-        if op.into_srf:
+        into_srf = active.into_srf
+        if into_srf:
             if active.staging_space() <= 0:
                 return False
         elif active.staged_available() <= 0:
             return False
         addr = op.mem_addrs[active.mem_cursor]
-        is_write = not op.into_srf
+        is_write = not into_srf
         if op.cacheable and self.cache is not None:
             if self._cache_credit <= 0.0:
                 return False
@@ -251,7 +353,7 @@ class MemoryController:
                 return False
             self.stats.offchip_words += 1
         # Functional transfer.
-        if op.into_srf:
+        if into_srf:
             active.stage([self.memory.read(addr)])
         else:
             value = active.consume_staged(1)[0]

@@ -79,6 +79,42 @@ class DramModel:
         """Accrue one cycle of bus budget."""
         self._credit = min(self._credit + self.words_per_cycle, self._max_credit)
 
+    def accrue_idle_cycles(self, cycles: int) -> None:
+        """Apply ``cycles`` consecutive :meth:`begin_cycle` calls in bulk.
+
+        Replays the per-cycle ``min`` update (same float operations, so
+        the resulting credit is bit-identical to stepping), stopping
+        early once the credit saturates at the cap — after which further
+        cycles are no-ops.
+        """
+        credit = self._credit
+        cap = self._max_credit
+        step = self.words_per_cycle
+        for _ in range(cycles):
+            if credit == cap:
+                break
+            credit = min(credit + step, cap)
+        self._credit = credit
+
+    def cycles_until_can_access(self) -> int:
+        """Whole cycles to skip before an access could be admitted.
+
+        0 means the very next :meth:`begin_cycle` already lifts the
+        credit above zero (an access can go ahead this cycle). The
+        prediction replays the exact per-cycle accrual, so skipping that
+        many idle cycles and then ticking normally admits the access on
+        precisely the same cycle as per-cycle stepping would.
+        """
+        credit = self._credit
+        cap = self._max_credit
+        step = self.words_per_cycle
+        accruals = 0
+        while True:
+            credit = min(credit + step, cap)
+            accruals += 1
+            if credit > 0.0:
+                return accruals - 1
+
     def can_access(self) -> bool:
         """Whether the bus has budget for another access this cycle.
 

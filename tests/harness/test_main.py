@@ -26,3 +26,58 @@ class TestMain:
     def test_fig17_via_cli(self, capsys):
         assert main(["fig17"]) == 0
         assert "Figure 17" in capsys.readouterr().out
+
+
+class TestArgumentErrors:
+    def test_json_without_path_fails_with_usage(self, capsys):
+        assert main(["table3", "--json"]) == 2
+        err = capsys.readouterr().err
+        assert "--json requires a value" in err
+        assert "usage:" in err
+
+    def test_unknown_experiment_fails_with_usage(self, capsys):
+        assert main(["definitely-not-an-experiment"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "usage:" in err
+
+    def test_unknown_option_fails(self, capsys):
+        assert main(["--frobnicate"]) == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_bad_jobs_value_fails(self, capsys):
+        assert main(["table3", "--jobs", "many"]) == 2
+        assert "--jobs needs an integer" in capsys.readouterr().err
+
+    def test_nonpositive_jobs_fails(self, capsys):
+        assert main(["table3", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+
+class TestNewOptions:
+    def test_list_prints_experiment_names(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "table3" in out and "headline" in out
+
+    def test_json_includes_jobs_and_timings(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "results.json"
+        assert main(["table3", "--no-cache", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["jobs"] == 1
+        assert set(data["timings_s"]) == {"table3"}
+        assert data["timings_s"]["table3"] >= 0
+        assert "table3" in data["experiments"]
+
+    def test_cache_dir_populated_and_reused(self, tmp_path, capsys):
+        from repro.harness import figures
+
+        cache_dir = tmp_path / "cache"
+        figures.clear_cache()  # force simulation so the cache is written
+        assert main(["fig11", "--cache-dir", str(cache_dir)]) == 0
+        assert list(cache_dir.glob("*.pkl"))
+        # Second run: a cold in-memory cache is served from disk.
+        figures.clear_cache()
+        assert main(["fig11", "--cache-dir", str(cache_dir)]) == 0

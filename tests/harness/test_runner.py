@@ -1,0 +1,105 @@
+"""The experiment registry, parallel runner, and on-disk result cache."""
+
+import pytest
+
+from repro.config.presets import isrf4_config
+from repro.harness import figures
+from repro.harness.resultcache import ResultCache
+from repro.harness.runner import (
+    EXPERIMENTS,
+    experiment_names,
+    run_experiment,
+    run_many,
+)
+
+
+class TestRegistry:
+    def test_names_in_report_order(self):
+        names = experiment_names()
+        assert names[0] == "table3"
+        assert names[-1] == "headline"
+        assert "fig11" in names and "fig18" in names
+
+    def test_run_experiment_returns_result_dict(self):
+        result = run_experiment("table3")
+        assert "text" in result
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("nope")
+
+
+class TestRunMany:
+    def test_serial_run_returns_results_and_timings(self):
+        results, timings = run_many(["area", "table3"])
+        assert list(results) == ["area", "table3"]
+        assert set(timings) == {"area", "table3"}
+        assert all(t >= 0 for t in timings.values())
+        assert "text" in results["area"]
+
+    def test_unknown_name_rejected_up_front(self):
+        with pytest.raises(ValueError, match="unknown experiments: nope"):
+            run_many(["table3", "nope"])
+
+    def test_parallel_run_matches_serial(self):
+        serial, _ = run_many(["table3", "area"], jobs=1)
+        parallel, timings = run_many(["table3", "area"], jobs=2)
+        assert list(parallel) == ["table3", "area"]
+        assert parallel["table3"]["text"] == serial["table3"]["text"]
+        assert parallel["area"]["text"] == serial["area"]["text"]
+        assert set(timings) == {"table3", "area"}
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        config = isrf4_config()
+        assert cache.get("FFT 2D", config, "small") is None
+        payload = {"anything": "picklable"}
+        cache.put("FFT 2D", config, "small", payload)
+        assert cache.get("FFT 2D", config, "small") == payload
+
+    def test_key_distinguishes_config_and_scale(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = isrf4_config()
+        assert cache.key("a", config, "small") != cache.key("a", config,
+                                                            "medium")
+        assert cache.key("a", config, "small") != cache.key("b", config,
+                                                            "small")
+        variant = config.replace(fast_forward=False)
+        assert cache.key("a", config, "small") != cache.key("a", variant,
+                                                            "small")
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = isrf4_config()
+        cache.put("x", config, "small", [1, 2, 3])
+        path = cache._path(cache.key("x", config, "small"))
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.get("x", config, "small") is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = isrf4_config()
+        cache.put("x", config, "small", 1)
+        cache.put("y", config, "small", 2)
+        assert cache.clear() == 2
+        assert cache.get("x", config, "small") is None
+
+    def test_run_benchmark_uses_installed_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        figures.set_result_cache(cache)
+        try:
+            config = isrf4_config()
+            figures.clear_cache()
+            first = figures.run_benchmark("FFT 2D", config, "small")
+            # A fresh in-memory cache must hit the disk entry and return
+            # an equal (deserialised) result without re-simulating.
+            figures.clear_cache()
+            second = figures.run_benchmark("FFT 2D", config, "small")
+            assert second.stats == first.stats
+            assert cache.get("FFT 2D", config, "small") is not None
+        finally:
+            figures.set_result_cache(None)
+            figures.clear_cache()

@@ -1,0 +1,84 @@
+"""Fast-forward equivalence: skipping pure-wait cycles in bulk must be
+invisible in every statistic the paper's figures are built from."""
+
+import pytest
+
+from repro.apps import fft, sort
+from repro.config import base_config
+from repro.config.presets import all_configs
+from repro.core import SrfArray
+from repro.errors import ExecutionError
+from repro.machine import StreamProcessor, StreamProgram
+from repro.memory import load_op
+
+CONFIG_NAMES = ("Base", "ISRF1", "ISRF4", "Cache")
+
+
+def _run_both(app_run, config, **kwargs):
+    fast = app_run(config.replace(fast_forward=True), **kwargs)
+    slow = app_run(config.replace(fast_forward=False), **kwargs)
+    assert fast.verified and slow.verified
+    return fast, slow
+
+
+class TestBitIdenticalStats:
+    @pytest.mark.parametrize("config_name", CONFIG_NAMES)
+    def test_fft_stats_identical(self, config_name):
+        config = all_configs()[config_name]
+        fast, slow = _run_both(fft.run, config, n=16, repeats=1)
+        assert fast.stats == slow.stats
+
+    @pytest.mark.parametrize("config_name", CONFIG_NAMES)
+    def test_sort_stats_identical(self, config_name):
+        config = all_configs()[config_name]
+        fast, slow = _run_both(sort.run, config, n=256, repeats=1)
+        assert fast.stats == slow.stats
+
+    def test_stall_breakdown_identical(self):
+        # The categories fast-forward charges in bulk — not just totals.
+        config = all_configs()["ISRF4"]
+        fast, slow = _run_both(fft.run, config, n=16, repeats=1)
+        assert fast.stats.total_cycles == slow.stats.total_cycles
+        assert fast.stats.memory_stall_cycles == slow.stats.memory_stall_cycles
+        assert fast.stats.idle_cycles == slow.stats.idle_cycles
+        assert fast.stats.offchip_words == slow.stats.offchip_words
+        assert fast.stats.kernel_runs == slow.stats.kernel_runs
+
+
+class TestDeadlockNotMasked:
+    def _stuck_program(self, proc):
+        arr = SrfArray(proc.srf, 64, "a")
+        region = proc.memory.allocate(64, "r")
+        prog = StreamProgram("stuck")
+        # A load depending on a task id that never exists in this run.
+        prog.add_memory(load_op(arr.seq_read(), region), deps=[10**9])
+        prog.tasks[0].deps = [10**9]
+        prog.validate = lambda: None  # bypass static validation
+        return prog
+
+    @pytest.mark.parametrize("fast_forward", [True, False])
+    def test_configured_limit_aborts(self, fast_forward):
+        config = base_config().replace(
+            deadlock_cycles=500, fast_forward=fast_forward
+        )
+        proc = StreamProcessor(config)
+        with pytest.raises(ExecutionError, match="no progress for 500"):
+            proc.run_program(self._stuck_program(proc))
+
+    def test_abort_cycle_identical_across_modes(self):
+        # Fast-forward must not skip past the deadlock horizon: a stuck
+        # program aborts on exactly the same cycle either way.
+        abort_cycles = []
+        for fast_forward in (True, False):
+            config = base_config().replace(
+                deadlock_cycles=400, fast_forward=fast_forward
+            )
+            proc = StreamProcessor(config)
+            with pytest.raises(ExecutionError, match="no progress for 400"):
+                proc.run_program(self._stuck_program(proc))
+            abort_cycles.append(proc.cycle)
+        assert abort_cycles[0] == abort_cycles[1]
+
+    def test_deadlock_cycles_validated(self):
+        with pytest.raises(Exception, match="deadlock_cycles"):
+            base_config().replace(deadlock_cycles=0)

@@ -1,0 +1,77 @@
+"""Regression: the schedule cache must key on the kernel object itself,
+not on ``id(kernel)``.
+
+CPython recycles object addresses, so a cache keyed on a bare ``id`` is
+only ever correct while something else happens to keep the kernel
+alive; any eviction or lifetime change turns it into a stale-schedule
+bug where a new kernel is served a dead kernel's slots — op ids the new
+kernel does not even contain. The fixed cache keys on the kernel object
+(kernels hash by identity), which both pins the kernel for the
+processor's lifetime and makes id recycling structurally impossible.
+"""
+
+import gc
+import weakref
+
+from repro.config import isrf4_config
+from repro.kernel import KernelBuilder
+from repro.machine import StreamProcessor
+
+
+def _make_kernel(adds: int):
+    builder = KernelBuilder(f"chain{adds}")
+    in_s = builder.istream("in")
+    out_s = builder.ostream("out")
+    value = builder.read(in_s)
+    for _ in range(adds):
+        value = builder.add(value, builder.const(1))
+    builder.write(out_s, value)
+    return builder.build()
+
+
+def test_cache_keys_on_kernel_not_recyclable_id():
+    # The regression proper: with the old code the key held id(kernel),
+    # an int that outlives the kernel and can be recycled; the fix keys
+    # on the kernel object itself.
+    proc = StreamProcessor(isrf4_config())
+    kernel = _make_kernel(1)
+    proc.schedule_kernel(kernel)
+    assert any(key[0] is kernel for key in proc._schedule_cache), (
+        "schedule cache must key on the kernel object, not id(kernel): "
+        "ids of collected kernels are recycled and alias new kernels"
+    )
+
+
+def test_cache_pins_kernel_against_id_reuse():
+    proc = StreamProcessor(isrf4_config())
+    first = _make_kernel(1)
+    proc.schedule_kernel(first)
+    stale_id = id(first)
+    kernel_ref = weakref.ref(first)
+    del first
+    gc.collect()
+    # The cache key itself must keep the kernel alive — that is what
+    # makes serving a recycled-id kernel a stale schedule impossible.
+    assert kernel_ref() is not None
+    # Try to provoke reuse of the address anyway; structurally different
+    # kernels allocated afterwards must never see the cached schedule.
+    candidate = None
+    for _ in range(200):
+        candidate = _make_kernel(4)
+        if id(candidate) == stale_id:
+            break
+        candidate = None
+    if candidate is None:
+        candidate = _make_kernel(4)
+    schedule = proc.schedule_kernel(candidate)
+    assert schedule.kernel is candidate
+    assert set(schedule.slots) == {op.op_id for op in candidate.ops}
+
+
+def test_distinct_kernels_get_distinct_schedules():
+    proc = StreamProcessor(isrf4_config())
+    small = _make_kernel(1)
+    big = _make_kernel(6)
+    assert proc.schedule_kernel(small) is not proc.schedule_kernel(big)
+    # Same kernel object: the cached schedule is returned as-is.
+    assert proc.schedule_kernel(small) is proc.schedule_kernel(small)
