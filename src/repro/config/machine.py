@@ -20,6 +20,9 @@ from repro.errors import ConfigurationError
 #: Bytes in one machine word. The paper uses a 32-bit word throughout.
 WORD_BYTES = 4
 
+#: Word-level protection schemes modelled for the SRF and main memory.
+PROTECTION_KINDS = ("none", "parity", "secded")
+
 
 class SrfMode(enum.Enum):
     """How the SRF may be accessed in a given machine configuration."""
@@ -109,6 +112,26 @@ class MachineConfig:
     #: charging them to the same stall categories in bulk. Results are
     #: bit-identical to per-cycle stepping; disable only to cross-check.
     fast_forward: bool = True
+
+    # --- Fault injection & protection (repro.faults) --------------------
+    #: Seed for the deterministic :class:`repro.faults.FaultPlan`. Must be
+    #: set whenever any fault count below is non-zero.
+    fault_seed: "int | None" = None
+    #: Bit flips struck on SRF reads / DRAM transfer words.
+    fault_srf_flips: int = 0
+    fault_dram_flips: int = 0
+    #: Transient cross-lane grant-drop windows and delayed memory
+    #: responses.
+    fault_crossbar_drops: int = 0
+    fault_memory_delays: int = 0
+    #: Fault event cycles are drawn uniformly from ``[0, fault_horizon)``.
+    fault_horizon: int = 50_000
+    #: Word protection for the SRF banks and for main memory transfers:
+    #: "none", "parity" (detect + refetch) or "secded" (correct in
+    #: place). Protection also adds modelled area/energy overhead via
+    #: :mod:`repro.area`.
+    srf_protection: str = "none"
+    memory_protection: str = "none"
 
     # --- Memory system (Table 3) ----------------------------------------
     #: Peak off-chip DRAM bandwidth in bytes/second (9.14 GB/s).
@@ -254,6 +277,24 @@ class MachineConfig:
             )
         if self.deadlock_cycles is not None and self.deadlock_cycles <= 0:
             raise ConfigurationError("deadlock_cycles must be positive")
+        fault_counts = (
+            self.fault_srf_flips, self.fault_dram_flips,
+            self.fault_crossbar_drops, self.fault_memory_delays,
+        )
+        if any(count < 0 for count in fault_counts):
+            raise ConfigurationError("fault counts must be non-negative")
+        if any(fault_counts) and self.fault_seed is None:
+            raise ConfigurationError(
+                "fault injection requires fault_seed (determinism)"
+            )
+        if self.fault_horizon <= 0:
+            raise ConfigurationError("fault_horizon must be positive")
+        for protection in (self.srf_protection, self.memory_protection):
+            if protection not in PROTECTION_KINDS:
+                raise ConfigurationError(
+                    f"unknown protection {protection!r} "
+                    f"(known: {', '.join(PROTECTION_KINDS)})"
+                )
         if self.dram_bandwidth_bytes_per_s <= 0:
             raise ConfigurationError("DRAM bandwidth must be positive")
         if self.dram_row_words <= 0 or self.dram_banks <= 0:

@@ -20,12 +20,26 @@ stream buffers.
 from __future__ import annotations
 
 from repro.config.machine import MachineConfig, SrfMode
+from repro.faults.plan import fault_overrides_from_env
+
+
+def _finish(cfg: MachineConfig, overrides: dict) -> MachineConfig:
+    """Apply env fault overrides, then explicit ones, and validate.
+
+    The ``REPRO_FAULTS`` environment variable (see
+    :func:`repro.faults.fault_overrides_from_env`) overlays fault/
+    protection knobs onto every preset, so the whole harness can run
+    under injected faults without touching any call site; explicit
+    keyword overrides still win.
+    """
+    merged = {**fault_overrides_from_env(), **overrides}
+    return cfg.replace(**merged) if merged else _validated(cfg)
 
 
 def base_config(**overrides: object) -> MachineConfig:
     """Sequential-only SRF backed by off-chip DRAM (paper ``Base``)."""
     cfg = MachineConfig(name="Base", srf_mode=SrfMode.SEQUENTIAL_ONLY)
-    return cfg.replace(**overrides) if overrides else _validated(cfg)
+    return _finish(cfg, overrides)
 
 
 def isrf1_config(**overrides: object) -> MachineConfig:
@@ -36,7 +50,7 @@ def isrf1_config(**overrides: object) -> MachineConfig:
         inlane_indexed_bandwidth=1,
         crosslane_indexed_bandwidth=1,
     )
-    return cfg.replace(**overrides) if overrides else _validated(cfg)
+    return _finish(cfg, overrides)
 
 
 def isrf4_config(**overrides: object) -> MachineConfig:
@@ -47,7 +61,7 @@ def isrf4_config(**overrides: object) -> MachineConfig:
         inlane_indexed_bandwidth=4,
         crosslane_indexed_bandwidth=1,
     )
-    return cfg.replace(**overrides) if overrides else _validated(cfg)
+    return _finish(cfg, overrides)
 
 
 def cache_config(**overrides: object) -> MachineConfig:
@@ -57,7 +71,7 @@ def cache_config(**overrides: object) -> MachineConfig:
         srf_mode=SrfMode.SEQUENTIAL_ONLY,
         has_cache=True,
     )
-    return cfg.replace(**overrides) if overrides else _validated(cfg)
+    return _finish(cfg, overrides)
 
 
 def all_configs() -> dict:

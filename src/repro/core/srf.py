@@ -156,12 +156,12 @@ class SequentialPort:
         """Perform one block transfer; returns words moved."""
         base = self.descriptor.base + self._blocks_done * self.block_words
         if self.direction is PortDirection.READ:
-            per_lane = [
+            per_lane = self.srf.filter_block([
                 self.srf.storage.read_range(
                     base + lane * self.words_per_lane, self.words_per_lane
                 )
                 for lane in range(self.fifo.lanes)
-            ]
+            ])
             self.srf.schedule_fill(
                 cycle + self.srf.config.srf_sequential_latency, self, per_lane
             )
@@ -366,6 +366,12 @@ class StreamRegisterFile:
         self._in_flight = []  # heap of (due, sequence, action) tuples
         self._sequence = itertools.count()
         self._comm_busy = False
+        # Fault injection (repro.faults); all None/False when disabled so
+        # the hot paths pay a single predicated check at most.
+        self._fault_injector = None
+        self._drop_schedule = None
+        self._faults_enabled = False
+        self._drops_active = False
         self._occupancy_policy = config.indexed_arbitration == "occupancy"
         self._shared_network = config.shared_interlane_network
         #: Per-bank grant cap for indexed word accesses per cycle.
@@ -433,6 +439,53 @@ class StreamRegisterFile:
         self._indexed_list.remove(stream)
 
     # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def install_faults(self, injector=None, drop_schedule=None) -> None:
+        """Attach a bit-flip injector and/or a crossbar drop schedule.
+
+        ``injector`` is a :class:`repro.faults.BitFlipInjector` applied
+        to words read out of the SRF banks; ``drop_schedule`` a
+        :class:`repro.faults.DropSchedule` whose active windows take the
+        cross-lane address network down.
+        """
+        self._fault_injector = injector
+        self._drop_schedule = drop_schedule
+        self._faults_enabled = injector is not None or drop_schedule is not None
+
+    def _advance_faults(self, cycle: int) -> None:
+        injector = self._fault_injector
+        if injector is not None:
+            injector.advance(cycle)
+        drops = self._drop_schedule
+        if drops is not None:
+            active = drops.active(cycle)
+            if active != self._drops_active:
+                self._drops_active = active
+                self.address_network.set_fault_drop(active)
+
+    def filter_word(self, value):
+        """Route one word read from a bank through any armed strike."""
+        injector = self._fault_injector
+        if injector is None or not injector.armed:
+            return value
+        return injector.filter(value)
+
+    def filter_words(self, values):
+        """Route a flat list of read words through any armed strikes."""
+        injector = self._fault_injector
+        if injector is None or not injector.armed:
+            return values
+        return [injector.filter(v) for v in values]
+
+    def filter_block(self, per_lane):
+        """Route a per-lane block read through any armed strikes."""
+        injector = self._fault_injector
+        if injector is None or not injector.armed:
+            return per_lane
+        return [[injector.filter(v) for v in words] for words in per_lane]
+
+    # ------------------------------------------------------------------
     # Cycle stepping
     # ------------------------------------------------------------------
     def tick(self, cycle: int, comm_busy: bool = False) -> None:
@@ -445,6 +498,8 @@ class StreamRegisterFile:
         """
         self.stats.cycles += 1
         self._comm_busy = comm_busy
+        if self._faults_enabled:
+            self._advance_faults(cycle)
         self._complete_due(cycle)
         self.return_network.tick(comm_busy)
         self._arbitrate(cycle)
@@ -604,7 +659,9 @@ class StreamRegisterFile:
         """Start the pipelined completion of one granted word access."""
         cfg = self.config
         if word.is_read:
-            value = self.storage.read_lane(bank, word.bank_local_addr)
+            value = self.filter_word(
+                self.storage.read_lane(bank, word.bank_local_addr)
+            )
             if stream.is_crosslane:
                 self.stats.crosslane_grants += 1
                 rob = stream.robs[word.source_lane]
@@ -636,6 +693,46 @@ class StreamRegisterFile:
         stream.outstanding_writes -= 1
 
     # ------------------------------------------------------------------
+    def occupancy_report(self) -> list:
+        """Human-readable lines describing current SRF occupancy.
+
+        Used by deadlock forensics: which ports/streams hold state and
+        how much is still in flight.
+        """
+        lines = []
+        for port in self._seq_ports:
+            fifo = getattr(port, "fifo", None)
+            if fifo is not None:
+                lines.append(
+                    f"sequential port {port.descriptor.name}: "
+                    f"{port._blocks_done}/{port.total_blocks} blocks, "
+                    f"buffer {fifo.occupancy}/{fifo.capacity} words/lane"
+                )
+            else:
+                op = getattr(port, "_op", None)
+                if op is not None:
+                    lines.append(
+                        f"memory-stream port {op.op.describe()}: "
+                        f"{port._blocks_done}/{port._total_blocks} blocks"
+                    )
+        for stream in self._indexed_list:
+            lines.append(
+                f"indexed stream {stream.descriptor.name}: "
+                f"{stream.pending_words} queued words, "
+                f"{stream.outstanding_writes} outstanding writes"
+            )
+        if self._in_flight:
+            lines.append(
+                f"{len(self._in_flight)} pipelined accesses in flight "
+                f"(next due cycle {self._in_flight[0][0]})"
+            )
+        if self.return_network.pending():
+            lines.append(
+                f"{self.return_network.pending()} words waiting in "
+                f"return-network queues"
+            )
+        return lines
+
     @property
     def idle(self) -> bool:
         """True when nothing is in flight anywhere in the SRF."""

@@ -39,5 +39,22 @@ class ExecutionError(ReproError):
     """A stream program performed an illegal operation at run time."""
 
 
+class DeadlockError(ExecutionError):
+    """The deadlock watchdog fired: no forward progress for too long.
+
+    Carries a :class:`repro.machine.diagnostics.DeadlockReport` in
+    ``report`` (when the processor could build one) whose rendering is
+    appended to the message, so the exception text alone names the
+    blocked tasks, their unmet dependencies, in-flight memory operations
+    and SRF occupancy.
+    """
+
+    def __init__(self, message: str, report=None):
+        if report is not None:
+            message = f"{message}\n{report.describe()}"
+        super().__init__(message)
+        self.report = report
+
+
 class MemorySystemError(ReproError):
     """An illegal memory-system request was issued."""

@@ -1,0 +1,55 @@
+"""Deterministic fault injection and protection modelling.
+
+The successor machines of the paper's lineage (Merrimac-class stream
+supercomputers) run stream register files at scales where soft errors,
+dropped network grants, and slow memory parts are routine. This package
+lets the simulator inject such faults deterministically and model the
+parity / SEC-DED protection hardware that detects or corrects them:
+
+* :class:`~repro.faults.plan.FaultPlan` — a seeded schedule of fault
+  events (SRF / DRAM bit flips, crossbar grant drops, delayed memory
+  responses), built from :class:`~repro.config.machine.MachineConfig`
+  knobs or the ``REPRO_FAULTS`` environment variable;
+* :mod:`repro.faults.protection` — per-word parity (detect + refetch)
+  and SEC-DED ECC (correct in place) semantics, plus the cycle-driven
+  injector/drop/delay schedules the machine components consume.
+
+With every knob at its default the machine contains no fault state at
+all and tier-1 statistics are bit-identical to the unprotected build.
+"""
+
+from repro.faults.plan import (
+    DRAM_FLIP,
+    FAULTS_ENV,
+    MEM_DELAY,
+    SRF_FLIP,
+    XBAR_DROP,
+    FaultEvent,
+    FaultPlan,
+    fault_overrides_from_env,
+)
+from repro.faults.protection import (
+    PROTECTION_CHECK_BITS,
+    BitFlipInjector,
+    DelaySchedule,
+    DropSchedule,
+    WordProtection,
+    corrupt_word,
+)
+
+__all__ = [
+    "BitFlipInjector",
+    "DRAM_FLIP",
+    "DelaySchedule",
+    "DropSchedule",
+    "FAULTS_ENV",
+    "FaultEvent",
+    "FaultPlan",
+    "MEM_DELAY",
+    "PROTECTION_CHECK_BITS",
+    "SRF_FLIP",
+    "WordProtection",
+    "XBAR_DROP",
+    "corrupt_word",
+    "fault_overrides_from_env",
+]

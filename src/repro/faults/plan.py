@@ -1,0 +1,197 @@
+"""Seeded, deterministic fault schedules.
+
+A :class:`FaultPlan` is a fixed list of :class:`FaultEvent` objects per
+fault domain, generated once from a seed. Determinism is the design
+constraint that everything else follows from: the same seed and machine
+configuration must produce the same injected faults — and therefore the
+same statistics — on every run, in every worker process, with
+fast-forward on or off.
+
+Bit flips are modelled as *read strikes*: an event due at cycle ``c``
+corrupts the word involved in the first access at or after ``c`` (a
+particle strike hitting the row being sensed). This keeps injection
+meaningful — every strike lands on a word the machine actually touches —
+while remaining anchored to chosen cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Fault-domain kinds.
+SRF_FLIP = "srf_flip"
+DRAM_FLIP = "dram_flip"
+XBAR_DROP = "xbar_drop"
+MEM_DELAY = "mem_delay"
+
+#: Environment variable carrying fault overrides for the harness presets,
+#: e.g. ``REPRO_FAULTS="seed=7,srf=24,dram=24,protection=secded"``.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: REPRO_FAULTS key -> MachineConfig field(s).
+_ENV_KEYS = {
+    "seed": ("fault_seed",),
+    "srf": ("fault_srf_flips",),
+    "dram": ("fault_dram_flips",),
+    "xbar": ("fault_crossbar_drops",),
+    "delay": ("fault_memory_delays",),
+    "horizon": ("fault_horizon",),
+    "srf_protection": ("srf_protection",),
+    "memory_protection": ("memory_protection",),
+    "protection": ("srf_protection", "memory_protection"),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``bit`` selects which bit a flip strikes; ``bits`` how many adjacent
+    bits flip (1 = the classic single-event upset, 2 = a double-bit
+    upset that defeats SEC correction); ``duration`` how many cycles a
+    crossbar drop lasts or how many extra cycles a delayed memory
+    response adds.
+    """
+
+    cycle: int
+    kind: str
+    bit: int = 0
+    bits: int = 1
+    duration: int = 0
+
+
+class FaultPlan:
+    """A deterministic schedule of fault events, split by domain."""
+
+    def __init__(self, events=()):
+        events = sorted(events, key=lambda e: (e.cycle, e.kind, e.bit))
+        self.srf_flips = [e for e in events if e.kind == SRF_FLIP]
+        self.dram_flips = [e for e in events if e.kind == DRAM_FLIP]
+        self.crossbar_drops = [e for e in events if e.kind == XBAR_DROP]
+        self.memory_delays = [e for e in events if e.kind == MEM_DELAY]
+        unknown = [e for e in events if e.kind not in
+                   (SRF_FLIP, DRAM_FLIP, XBAR_DROP, MEM_DELAY)]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault kind {unknown[0].kind!r}"
+            )
+
+    def __len__(self) -> int:
+        return (
+            len(self.srf_flips) + len(self.dram_flips)
+            + len(self.crossbar_drops) + len(self.memory_delays)
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(cls, seed: int, *, srf_flips: int = 0, dram_flips: int = 0,
+               crossbar_drops: int = 0, memory_delays: int = 0,
+               horizon: int = 50_000, double_flip_fraction: float = 0.0,
+               max_drop_cycles: int = 8,
+               max_delay_cycles: int = 200) -> "FaultPlan":
+        """Generate a plan from a seed.
+
+        Event cycles are drawn uniformly from ``[0, horizon)``; the draw
+        order is fixed (SRF flips, DRAM flips, drops, delays) so a given
+        ``(seed, counts, horizon)`` tuple always yields the same plan.
+        ``double_flip_fraction`` turns that fraction of flips into
+        double-bit upsets (SEC-DED detects but cannot correct them).
+        """
+        if horizon <= 0:
+            raise ConfigurationError("fault horizon must be positive")
+        rng = random.Random(seed)
+        events = []
+
+        def flip_bits() -> int:
+            if double_flip_fraction and rng.random() < double_flip_fraction:
+                return 2
+            return 1
+
+        for _ in range(srf_flips):
+            events.append(FaultEvent(
+                cycle=rng.randrange(horizon), kind=SRF_FLIP,
+                bit=rng.randrange(32), bits=flip_bits(),
+            ))
+        for _ in range(dram_flips):
+            events.append(FaultEvent(
+                cycle=rng.randrange(horizon), kind=DRAM_FLIP,
+                bit=rng.randrange(32), bits=flip_bits(),
+            ))
+        for _ in range(crossbar_drops):
+            events.append(FaultEvent(
+                cycle=rng.randrange(horizon), kind=XBAR_DROP,
+                duration=1 + rng.randrange(max(1, max_drop_cycles)),
+            ))
+        for _ in range(memory_delays):
+            events.append(FaultEvent(
+                cycle=rng.randrange(horizon), kind=MEM_DELAY,
+                duration=1 + rng.randrange(max(1, max_delay_cycles)),
+            ))
+        return cls(events)
+
+    @classmethod
+    def from_config(cls, config) -> "FaultPlan | None":
+        """Build the plan a :class:`MachineConfig` asks for, or None.
+
+        Returns None when every fault count is zero, so the machine
+        carries no fault state at all in the default configuration.
+        """
+        counts = (
+            config.fault_srf_flips, config.fault_dram_flips,
+            config.fault_crossbar_drops, config.fault_memory_delays,
+        )
+        if not any(counts):
+            return None
+        return cls.seeded(
+            config.fault_seed,
+            srf_flips=config.fault_srf_flips,
+            dram_flips=config.fault_dram_flips,
+            crossbar_drops=config.fault_crossbar_drops,
+            memory_delays=config.fault_memory_delays,
+            horizon=config.fault_horizon,
+        )
+
+
+# ----------------------------------------------------------------------
+def fault_overrides_from_env(environ=None) -> dict:
+    """Parse ``REPRO_FAULTS`` into :class:`MachineConfig` overrides.
+
+    The variable is a comma-separated ``key=value`` list; keys are
+    ``seed``, ``srf``, ``dram``, ``xbar``, ``delay``, ``horizon``,
+    ``protection`` (sets both domains), ``srf_protection`` and
+    ``memory_protection``. An empty or unset variable yields ``{}`` so
+    the presets are untouched by default.
+    """
+    environ = os.environ if environ is None else environ
+    spec = environ.get(FAULTS_ENV, "").strip()
+    if not spec:
+        return {}
+    overrides = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if not sep or key not in _ENV_KEYS or not value:
+            raise ConfigurationError(
+                f"bad {FAULTS_ENV} entry {item!r} "
+                f"(known keys: {', '.join(_ENV_KEYS)})"
+            )
+        for field in _ENV_KEYS[key]:
+            if field.endswith("protection"):
+                overrides[field] = value
+            else:
+                try:
+                    overrides[field] = int(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{FAULTS_ENV}: {key} needs an integer, got "
+                        f"{value!r}"
+                    ) from None
+    return overrides

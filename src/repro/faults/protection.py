@@ -1,0 +1,189 @@
+"""Protection semantics and the runtime fault schedules.
+
+Protection is modelled at the word level, the way the hardware would
+bolt it onto an SRF bank or a memory interface:
+
+* **parity** — one check bit per 32-bit word. Detects any odd number of
+  flipped bits; a detection triggers a refetch/retry that restores the
+  word (counted, not timed — see DESIGN.md). Even-bit upsets slip
+  through as silent corruption.
+* **secded** — a (39,32) single-error-correct / double-error-detect
+  Hamming code. Single-bit upsets are corrected in place with zero
+  timing impact; double-bit upsets are detected but delivered corrupt
+  (counted as both detected and uncorrected).
+* **none** — every strike is silent corruption: the corrupted value
+  propagates into the computation and, usually, into a failed
+  end-to-end functional verification.
+
+The schedules (:class:`BitFlipInjector`, :class:`DropSchedule`,
+:class:`DelaySchedule`) translate a :class:`~repro.faults.plan.
+FaultPlan`'s absolute event cycles into the component hooks the machine
+calls while ticking. All of them are safe under cycle fast-forwarding:
+they key decisions off absolute cycle numbers, and strikes only take
+effect on accesses — which occur on exactly the same cycles whether or
+not quiescent windows are skipped.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+
+#: Check bits added per 32-bit word by each protection scheme.
+PROTECTION_CHECK_BITS = {"none": 0, "parity": 1, "secded": 7}
+
+
+def corrupt_word(value, bit: int):
+    """The corrupted form of ``value`` after a strike on ``bit``.
+
+    Integers get the bit XOR-flipped in their 32-bit image; floats get a
+    bit of their IEEE-754 *single* image flipped (the machine stores
+    32-bit words), falling back to the double image for values outside
+    single range; anything else (packed record tuples and other opaque
+    payloads) is wrapped in a visibly poisoned marker so the corruption
+    cannot pass for real data.
+    """
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ (1 << (bit % 32))
+    if isinstance(value, float):
+        try:
+            (image,) = struct.unpack("<I", struct.pack("<f", value))
+            image ^= 1 << (bit % 32)
+            (flipped,) = struct.unpack("<f", struct.pack("<I", image))
+            return flipped
+        except (OverflowError, struct.error):
+            (image,) = struct.unpack("<Q", struct.pack("<d", value))
+            image ^= 1 << (32 + bit % 32)
+            (flipped,) = struct.unpack("<d", struct.pack("<Q", image))
+            return flipped
+    return ("<corrupt>", value)
+
+
+class WordProtection:
+    """Outcome of one protection scheme on a struck word."""
+
+    def __init__(self, kind: str):
+        if kind not in PROTECTION_CHECK_BITS:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown protection {kind!r} "
+                f"(known: {', '.join(PROTECTION_CHECK_BITS)})"
+            )
+        self.kind = kind
+        self.check_bits = PROTECTION_CHECK_BITS[kind]
+
+    def deliver(self, value, event, stats):
+        """Value delivered to the consumer after ``event`` strikes it.
+
+        Updates the detected/corrected/uncorrected counters on
+        ``stats`` (a :class:`~repro.machine.stats.FaultStats`).
+        """
+        stats.injected += 1
+        flips = max(1, event.bits)
+        if self.kind == "secded":
+            if flips == 1:
+                stats.corrected += 1
+                return value
+            stats.detected += 1
+            stats.uncorrected += 1
+            return self._corrupt(value, event, flips)
+        if self.kind == "parity":
+            if flips % 2 == 1:
+                # Detected: the word is refetched/retried and the good
+                # value delivered (retry cost is counted, not timed).
+                stats.detected += 1
+                stats.retries += 1
+                return value
+            stats.uncorrected += 1
+            return self._corrupt(value, event, flips)
+        stats.uncorrected += 1
+        return self._corrupt(value, event, flips)
+
+    @staticmethod
+    def _corrupt(value, event, flips: int):
+        for offset in range(flips):
+            value = corrupt_word(value, event.bit + offset)
+        return value
+
+
+class BitFlipInjector:
+    """Turns cycle-scheduled strikes into corrupted (or protected) reads.
+
+    :meth:`advance` arms every event whose cycle has been reached;
+    :meth:`filter` applies one armed strike to the word being read.
+    ``armed`` is the cheap guard the hot read paths check before paying
+    for a call.
+    """
+
+    def __init__(self, events, protection: str, stats):
+        self._pending = deque(sorted(events, key=lambda e: e.cycle))
+        self._armed = deque()
+        self.protection = WordProtection(protection)
+        self.stats = stats
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._armed)
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._pending and not self._armed
+
+    def advance(self, cycle: int) -> None:
+        """Arm every strike due at or before ``cycle``."""
+        pending = self._pending
+        while pending and pending[0].cycle <= cycle:
+            self._armed.append(pending.popleft())
+
+    def filter(self, value):
+        """Apply the oldest armed strike to ``value`` (if any)."""
+        if not self._armed:
+            return value
+        return self.protection.deliver(
+            value, self._armed.popleft(), self.stats
+        )
+
+
+class DropSchedule:
+    """Cycle windows during which the cross-lane network drops grants."""
+
+    def __init__(self, events):
+        self._windows = deque(sorted(
+            (e.cycle, e.cycle + max(1, e.duration)) for e in events
+        ))
+        self._current_end = -1
+
+    def active(self, cycle: int) -> bool:
+        """Whether a drop window covers ``cycle``.
+
+        Keyed off absolute cycles so skipped (quiescent) cycles cannot
+        shift a window.
+        """
+        windows = self._windows
+        while windows and windows[0][0] <= cycle:
+            _start, end = windows.popleft()
+            if end > self._current_end:
+                self._current_end = end
+        return cycle < self._current_end
+
+
+class DelaySchedule:
+    """Extra response latency charged to memory ops issued after events."""
+
+    def __init__(self, events, stats):
+        self._pending = deque(sorted(events, key=lambda e: e.cycle))
+        self.stats = stats
+
+    def extra_latency(self, cycle: int) -> int:
+        """Extra cycles for an op issued at ``cycle`` (consumes events)."""
+        extra = 0
+        pending = self._pending
+        while pending and pending[0].cycle <= cycle:
+            extra += max(1, pending.popleft().duration)
+        if extra:
+            self.stats.delayed_ops += 1
+            self.stats.delay_cycles += extra
+        return extra

@@ -7,6 +7,12 @@ Pass experiment names (``fig11 fig17 area ...``) to run a subset, and
 ``--jobs N`` fans independent experiments across N worker processes;
 ``--cache-dir DIR`` / ``--no-cache`` control the on-disk result cache
 (default ``.repro-cache``, see :mod:`repro.harness.resultcache`).
+
+The harness degrades gracefully: a raising, crashing, or (with
+``--timeout``) hung experiment is reported as a structured failure —
+and reflected in a non-zero exit code — while every other experiment's
+results are still printed and exported. ``--fail-fast`` opts out,
+aborting on the first failure.
 """
 
 from __future__ import annotations
@@ -25,6 +31,8 @@ Runs every experiment when none is named. Known experiments:
 
 options:
   --jobs N         run experiments in N parallel worker processes
+  --timeout S      per-experiment timeout in seconds (isolated workers)
+  --fail-fast      abort on the first failure instead of degrading
   --json PATH      also dump structured results as JSON to PATH
   --cache-dir DIR  on-disk benchmark result cache (default {cache_dir})
   --no-cache       disable the on-disk cache for this run
@@ -60,12 +68,13 @@ def _fail(message: str) -> int:
 def _parse_args(argv):
     """Split argv into (names, options) or raise ValueError."""
     options = {"json": None, "jobs": 1, "cache_dir": default_cache_dir(),
-               "no_cache": False, "list": False}
+               "no_cache": False, "list": False, "timeout": None,
+               "fail_fast": False}
     names = []
     position = 0
     while position < len(argv):
         token = argv[position]
-        if token in ("--json", "--jobs", "--cache-dir"):
+        if token in ("--json", "--jobs", "--cache-dir", "--timeout"):
             if position + 1 >= len(argv):
                 raise ValueError(f"{token} requires a value")
             value = argv[position + 1]
@@ -73,6 +82,16 @@ def _parse_args(argv):
                 options["json"] = value
             elif token == "--cache-dir":
                 options["cache_dir"] = value
+            elif token == "--timeout":
+                try:
+                    options["timeout"] = float(value)
+                except ValueError:
+                    raise ValueError(
+                        f"--timeout needs a number of seconds, got "
+                        f"{value!r}"
+                    ) from None
+                if options["timeout"] <= 0:
+                    raise ValueError("--timeout must be positive")
             else:
                 try:
                     options["jobs"] = int(value)
@@ -86,6 +105,8 @@ def _parse_args(argv):
             continue
         if token == "--no-cache":
             options["no_cache"] = True
+        elif token == "--fail-fast":
+            options["fail_fast"] = True
         elif token == "--list":
             options["list"] = True
         elif token in ("-h", "--help"):
@@ -121,17 +142,33 @@ def main(argv=None) -> int:
     cache_dir = None if options["no_cache"] else options["cache_dir"]
     scale = figures.default_scale()
     print(f"# repro harness (scale: {scale}, jobs: {options['jobs']})\n")
-    results, timings = runner.run_many(
-        selected, jobs=options["jobs"], cache_dir=cache_dir
-    )
+    try:
+        results, timings = runner.run_many(
+            selected, jobs=options["jobs"], cache_dir=cache_dir,
+            timeout=options["timeout"], fail_fast=options["fail_fast"],
+        )
+    except runner.ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     collected = {}
+    failures = []
     for name in selected:
         result = results[name]
-        print(result["text"])
-        print(f"[{name}: {timings[name]:.1f}s]\n")
-        collected[name] = {
-            k: _jsonable(v) for k, v in result.items() if k != "text"
-        }
+        if runner.failed(result):
+            failures.append(name)
+            print(
+                f"FAILED {name} (attempts: {result['attempts']}): "
+                f"{result['error']}"
+            )
+            print(f"[{name}: {timings[name]:.1f}s]\n")
+            collected[name] = _jsonable(result)
+        else:
+            print(result["text"])
+            print(f"[{name}: {timings[name]:.1f}s]\n")
+            collected[name] = {"status": "ok"}
+            collected[name].update(
+                _jsonable({k: v for k, v in result.items() if k != "text"})
+            )
     if options["json"] is not None:
         payload = {
             "scale": scale,
@@ -142,6 +179,12 @@ def main(argv=None) -> int:
         with open(options["json"], "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {options['json']}")
+    if failures:
+        print(
+            f"error: {len(failures)} experiment(s) failed: "
+            f"{', '.join(failures)}", file=sys.stderr,
+        )
+        return 1
     return 0
 
 

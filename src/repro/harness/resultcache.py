@@ -79,45 +79,79 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def get(self, benchmark: str, config, scale: str):
-        """Cached result, or None on miss / unreadable entry."""
+        """Cached result, or None on miss / unreadable entry.
+
+        A present-but-unreadable entry (truncated write, stale class
+        layout, garbage) is *quarantined* — renamed to ``<key>.pkl.bad``
+        — so it is not re-parsed on every subsequent run; a later
+        :meth:`put` recreates the entry cleanly.
+        """
         path = self._path(self.key(benchmark, config, scale))
         try:
-            with open(path, "rb") as handle:
+            handle = open(path, "rb")
+        except OSError:
+            return None  # plain miss
+        try:
+            with handle:
                 return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
-            return None  # missing or stale/corrupt entry: recompute
+        except Exception:
+            self._quarantine(path)
+            return None  # corrupt/stale entry: recompute
+
+    @staticmethod
+    def _quarantine(path: str) -> None:
+        try:
+            os.replace(path, path + ".bad")
+        except OSError:
+            pass
 
     def put(self, benchmark: str, config, scale: str, result) -> None:
-        """Store a result; failures to write are non-fatal."""
+        """Store a result; failures to write are non-fatal.
+
+        The temp file is removed on *any* failure — including
+        non-``OSError`` ones such as an unpicklable result — so aborted
+        writes cannot litter the cache directory.
+        """
         os.makedirs(self.directory, exist_ok=True)
         path = self._path(self.key(benchmark, config, scale))
         fd, temp_path = tempfile.mkstemp(
             dir=self.directory, suffix=".tmp"
         )
         try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp_path, path)
-        except OSError:
             try:
-                os.unlink(temp_path)
-            except OSError:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(
+                        result, handle, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                os.replace(temp_path, path)
+            except Exception:
                 pass
+        finally:
+            if os.path.exists(temp_path):
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
 
     # ------------------------------------------------------------------
-    def clear(self) -> int:
-        """Delete all cache entries; returns how many were removed."""
+    def clear(self) -> "int":
+        """Delete all cache entries; returns how many were removed.
+
+        Leftover temp files and quarantined (``.bad``) entries are
+        deleted too but not counted — the return value is the number of
+        actual cache entries, as the name promises.
+        """
         removed = 0
         try:
             entries = os.listdir(self.directory)
         except OSError:
             return 0
         for filename in entries:
-            if filename.endswith((".pkl", ".tmp")):
+            if filename.endswith((".pkl", ".tmp", ".bad")):
                 try:
                     os.unlink(os.path.join(self.directory, filename))
-                    removed += 1
                 except OSError:
-                    pass
+                    continue
+                if filename.endswith(".pkl"):
+                    removed += 1
         return removed

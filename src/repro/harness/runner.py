@@ -1,4 +1,4 @@
-"""Experiment registry and parallel execution for the harness.
+"""Experiment registry and crash-isolated parallel execution.
 
 The figure/table experiments are independent of one another, so the CLI
 can fan them out across worker processes with :func:`run_many`. Workers
@@ -8,6 +8,14 @@ behind ``run_benchmark``, so a (benchmark, config, scale) triple
 simulated by one worker is a cache hit for every later experiment that
 needs it — in this run or the next.
 
+The runner degrades gracefully instead of dying: a crashing, raising or
+hung experiment is recorded as a structured failure
+(``{"status": "failed", "error": ..., "attempts": ...}``) while every
+other experiment's results are kept. Each isolated experiment gets a
+per-attempt ``timeout`` and one retry with a short backoff; opt out of
+graceful degradation with ``fail_fast=True``, which aborts on the first
+unrecoverable failure.
+
 Workload scale is selected by the ``REPRO_SCALE`` environment variable
 (as everywhere else in the harness); forked workers inherit it.
 """
@@ -15,8 +23,11 @@ Workload scale is selected by the ``REPRO_SCALE`` environment variable
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
+import os
 import time
 
+from repro.errors import ReproError
 from repro.harness import figures
 
 #: Experiment name -> runner, in report order (the CLI preserves it).
@@ -34,12 +45,40 @@ EXPERIMENTS = {
     "fig16": figures.figure16,
     "fig17": figures.figure17,
     "fig18": figures.figure18,
+    "reliability": figures.reliability,
     "headline": figures.headline,
 }
+
+#: Test/CI hooks: name an experiment in these variables to force it to
+#: raise or hang, exercising the crash-isolation and timeout paths.
+FAIL_EXPERIMENT_ENV = "REPRO_FAIL_EXPERIMENT"
+HANG_EXPERIMENT_ENV = "REPRO_HANG_EXPERIMENT"
+
+#: Seconds before retrying a failed/timed-out experiment.
+RETRY_BACKOFF_S = 0.25
+
+
+class ExperimentError(ReproError):
+    """An experiment failed and ``fail_fast`` was requested."""
+
+    def __init__(self, name: str, error: str):
+        super().__init__(f"experiment {name!r} failed: {error}")
+        self.experiment = name
+        self.error = error
 
 
 def experiment_names() -> list:
     return list(EXPERIMENTS)
+
+
+def _apply_test_hooks(name: str) -> None:
+    if os.environ.get(FAIL_EXPERIMENT_ENV) == name:
+        raise RuntimeError(
+            f"{name}: forced failure ({FAIL_EXPERIMENT_ENV})"
+        )
+    if os.environ.get(HANG_EXPERIMENT_ENV) == name:
+        while True:  # pragma: no cover - killed by the runner's timeout
+            time.sleep(3600)
 
 
 def run_experiment(name: str) -> dict:
@@ -51,11 +90,21 @@ def run_experiment(name: str) -> dict:
             f"unknown experiment {name!r} "
             f"(known: {', '.join(EXPERIMENTS)})"
         ) from None
+    _apply_test_hooks(name)
     return runner()
 
 
+def failed(result) -> bool:
+    """Whether a run_many result entry is a structured failure record."""
+    return isinstance(result, dict) and result.get("status") == "failed"
+
+
+def _failure(error: str, attempts: int) -> dict:
+    return {"status": "failed", "error": error, "attempts": attempts}
+
+
 # ----------------------------------------------------------------------
-# Parallel execution
+# Execution
 # ----------------------------------------------------------------------
 def _init_worker(cache_dir: "str | None") -> None:
     """Install the shared disk cache inside a worker process."""
@@ -65,49 +114,178 @@ def _init_worker(cache_dir: "str | None") -> None:
         figures.set_result_cache(ResultCache(cache_dir))
 
 
-def _run_timed(name: str) -> tuple:
-    start = time.perf_counter()
-    result = run_experiment(name)
-    return name, result, time.perf_counter() - start
-
-
-def run_many(names, jobs: int = 1,
-             cache_dir: "str | None" = None) -> "tuple[dict, dict]":
+def run_many(names, jobs: int = 1, cache_dir: "str | None" = None,
+             timeout: "float | None" = None,
+             fail_fast: bool = False) -> "tuple[dict, dict]":
     """Run experiments, optionally across ``jobs`` worker processes.
 
     Returns ``(results, timings)``: experiment name -> result dict and
-    name -> wall-clock seconds, both in the order of ``names``. With
-    ``jobs <= 1`` everything runs in-process (sharing the in-memory
-    benchmark cache); with more, a ``fork`` pool is used so workers
-    inherit the parent's imports cheaply, and simulated benchmarks are
-    shared between experiments through the disk cache instead.
+    name -> wall-clock seconds, both in the order of ``names``. A failed
+    experiment's entry is ``{"status": "failed", "error": ...,
+    "attempts": ...}`` (test with :func:`failed`); successful entries
+    are the raw experiment result dicts.
+
+    With ``jobs <= 1`` and no ``timeout`` everything runs in-process
+    (sharing the in-memory benchmark cache), isolating failures per
+    experiment. Otherwise each experiment runs in its own forked worker
+    process so a crash or hang cannot take the run down: a worker
+    exceeding ``timeout`` seconds is terminated, and any failed attempt
+    is retried once after a short backoff. ``fail_fast=True`` raises
+    :class:`ExperimentError` at the first unrecoverable failure instead
+    of degrading.
     """
     names = list(names)
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         raise ValueError(f"unknown experiments: {', '.join(unknown)}")
+    if jobs <= 1 and timeout is None:
+        return _run_serial(names, cache_dir, fail_fast)
+    return _run_isolated(names, max(1, jobs), cache_dir, timeout, fail_fast)
+
+
+def _run_serial(names, cache_dir, fail_fast) -> "tuple[dict, dict]":
     results = {}
     timings = {}
-    if jobs <= 1 or len(names) <= 1:
-        previous = figures._result_cache
+    previous = figures._result_cache
+    _init_worker(cache_dir)
+    try:
+        for name in names:
+            start = time.perf_counter()
+            try:
+                results[name] = run_experiment(name)
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                results[name] = _failure(error, attempts=1)
+                if fail_fast:
+                    raise ExperimentError(name, error) from exc
+            timings[name] = time.perf_counter() - start
+    finally:
+        figures.set_result_cache(previous)
+    return results, timings
+
+
+def _worker_entry(name: str, cache_dir: "str | None", conn) -> None:
+    """Run one experiment in a forked worker, reporting over ``conn``."""
+    try:
         _init_worker(cache_dir)
+        result = run_experiment(name)
+        conn.send((True, result))
+    except Exception as exc:  # reported to the parent, not raised
         try:
-            for name in names:
-                name, result, elapsed = _run_timed(name)
-                results[name] = result
-                timings[name] = elapsed
-        finally:
-            figures.set_result_cache(previous)
-        return results, timings
+            conn.send((False, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _Attempt:
+    """One in-flight worker process."""
+
+    def __init__(self, name: str, number: int, first_start: float,
+                 context, cache_dir, timeout):
+        self.name = name
+        self.number = number
+        self.first_start = first_start
+        recv, send = multiprocessing.Pipe(duplex=False)
+        self.conn = recv
+        self.process = context.Process(
+            target=_worker_entry, args=(name, cache_dir, send), daemon=True
+        )
+        self.process.start()
+        send.close()  # parent keeps only the receiving end
+        self.deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+
+    def stop(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join()
+        self.conn.close()
+
+
+def _run_isolated(names, jobs, cache_dir, timeout,
+                  fail_fast) -> "tuple[dict, dict]":
+    """Process-per-experiment scheduler with timeouts and one retry."""
     context = multiprocessing.get_context("fork")
-    with context.Pool(
-        processes=min(jobs, len(names)),
-        initializer=_init_worker,
-        initargs=(cache_dir,),
-    ) as pool:
-        for name, result, elapsed in pool.imap(_run_timed, names):
-            results[name] = result
-            timings[name] = elapsed
+    ready = list(names)  # (name, attempt=1) launches, FIFO
+    attempts_of = {name: 1 for name in names}
+    first_start = {}
+    delayed = []  # (ready_at, name) retry launches
+    active = []  # _Attempt objects
+    results = {}
+    timings = {}
+
+    def finish(attempt: _Attempt, success: bool, payload) -> None:
+        elapsed = time.perf_counter() - attempt.first_start
+        if success:
+            results[attempt.name] = payload
+            timings[attempt.name] = elapsed
+            return
+        if attempt.number == 1:
+            # Retry once with a short backoff (transient failures:
+            # OOM-killed workers, contended caches, flaky hangs).
+            attempts_of[attempt.name] = 2
+            delayed.append((time.monotonic() + RETRY_BACKOFF_S,
+                            attempt.name))
+            return
+        results[attempt.name] = _failure(payload, attempts=attempt.number)
+        timings[attempt.name] = elapsed
+        if fail_fast:
+            for other in active:
+                other.stop()
+            raise ExperimentError(attempt.name, payload)
+
+    while ready or delayed or active:
+        now = time.monotonic()
+        # Promote retries whose backoff has elapsed.
+        for entry in [e for e in delayed if e[0] <= now]:
+            delayed.remove(entry)
+            ready.append(entry[1])
+        # Launch up to the job limit.
+        while ready and len(active) < jobs:
+            name = ready.pop(0)
+            number = attempts_of[name]
+            start = first_start.setdefault(name, time.perf_counter())
+            active.append(_Attempt(
+                name, number, start, context, cache_dir, timeout
+            ))
+        if not active:
+            if delayed:  # every slot idle: wait out the earliest backoff
+                time.sleep(max(0.0, min(e[0] for e in delayed) - now))
+            continue
+        # Wait for a result, a timeout, or a retry becoming ready.
+        wait = None
+        deadlines = [a.deadline for a in active if a.deadline is not None]
+        if deadlines:
+            wait = max(0.0, min(deadlines) - time.monotonic())
+        if delayed:
+            backoff = max(0.0, min(e[0] for e in delayed) - time.monotonic())
+            wait = backoff if wait is None else min(wait, backoff)
+        readable = multiprocessing.connection.wait(
+            [a.conn for a in active], timeout=wait
+        )
+        done = set()
+        for attempt in [a for a in active if a.conn in readable]:
+            try:
+                success, payload = attempt.conn.recv()
+            except EOFError:
+                exit_code = attempt.process.exitcode
+                success, payload = False, (
+                    f"worker crashed (exit code {exit_code})"
+                )
+            attempt.stop()
+            done.add(attempt)
+            finish(attempt, success, payload)
+        now = time.monotonic()
+        for attempt in [a for a in active if a not in done]:
+            if attempt.deadline is not None and now >= attempt.deadline:
+                attempt.stop()
+                done.add(attempt)
+                finish(attempt, False, f"timed out after {timeout:g}s")
+        active = [a for a in active if a not in done]
+
     ordered = {name: results[name] for name in names}
     ordered_timings = {name: timings[name] for name in names}
     return ordered, ordered_timings

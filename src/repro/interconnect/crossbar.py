@@ -35,6 +35,9 @@ class CrossbarStats:
     words_delivered: int = 0
     deferred_word_cycles: int = 0
     comm_cycles: int = 0
+    #: Routes refused while the network was transiently faulted
+    #: (repro.faults grant-drop windows).
+    dropped_routes: int = 0
 
 
 @dataclass
@@ -163,7 +166,15 @@ class AddressNetwork:
         self.source_bandwidth = source_bandwidth
         self._source_budget = [0] * lanes
         self._bank_budget = [0] * lanes
+        #: Transient fault state (repro.faults): while set, every route
+        #: attempt is refused — the grant retries on a later cycle, as a
+        #: real network would after a dropped flit.
+        self._fault_down = False
         self.stats = CrossbarStats()
+
+    def set_fault_drop(self, down: bool) -> None:
+        """Mark the network faulted (dropping all grants) or healthy."""
+        self._fault_down = down
 
     def begin_cycle(self) -> None:
         """Reset per-cycle port budgets."""
@@ -179,6 +190,9 @@ class AddressNetwork:
 
     def try_route(self, source_lane: int, bank: int) -> bool:
         """Consume one source slot and one bank port if both are free."""
+        if self._fault_down:
+            self.stats.dropped_routes += 1
+            return False
         if not self.can_route(source_lane, bank):
             return False
         self._source_budget[source_lane] -= 1
@@ -236,6 +250,9 @@ class RingAddressNetwork(AddressNetwork):
         )
 
     def try_route(self, source_lane: int, bank: int) -> bool:
+        if self._fault_down:
+            self.stats.dropped_routes += 1
+            return False
         if not self.can_route(source_lane, bank):
             return False
         for link in self._path(source_lane, bank):

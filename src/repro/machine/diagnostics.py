@@ -1,4 +1,4 @@
-"""Performance diagnostics: what bounds a kernel or a program.
+"""Performance and failure diagnostics.
 
 The paper reasons about its results in terms of *bounds* — memory-bound
 Base configurations, SRF-bandwidth-bound ISRF1 kernels, recurrence-bound
@@ -6,6 +6,13 @@ sort loops, compute-bound IG datasets. This module makes the same
 analysis available programmatically: given a schedule, a kernel run, or
 a whole program's statistics, it reports which resource sets the pace
 and by how much.
+
+It also renders *failure* forensics: when the deadlock watchdog in
+:mod:`repro.machine.processor` fires, :func:`build_deadlock_report`
+captures what every stuck task is waiting on — unmet dependencies,
+in-flight memory operations, SRF occupancy — so the resulting
+:class:`repro.errors.DeadlockError` explains itself instead of printing
+a bare cycle count.
 """
 
 from __future__ import annotations
@@ -18,6 +25,90 @@ from repro.kernel.resources import ClusterResources, resource_usage
 from repro.kernel.schedule import StaticSchedule
 from repro.kernel.scheduler import min_ii_recurrence
 from repro.machine.stats import KernelRunStats, ProgramStats
+
+
+@dataclass
+class BlockedTask:
+    """One stream task that cannot proceed, and why."""
+
+    task_id: int
+    name: str
+    kind: str  # "kernel" | "memory"
+    #: Dependency task ids not yet completed.
+    missing_deps: list = field(default_factory=list)
+
+    def describe(self) -> str:
+        deps = (
+            ", ".join(str(d) for d in self.missing_deps)
+            if self.missing_deps else "nothing (ready but never started)"
+        )
+        return f"{self.kind} task {self.task_id} '{self.name}' waiting on: {deps}"
+
+
+@dataclass
+class DeadlockReport:
+    """Waiting-on dump attached to a :class:`repro.errors.DeadlockError`."""
+
+    program: str
+    cycle: int
+    blocked: list = field(default_factory=list)  # of BlockedTask
+    #: Description of the kernel on the cluster array, if one is stuck.
+    running_kernel: "str | None" = None
+    #: Per-op descriptions from MemoryController.inflight_report().
+    inflight_memory: list = field(default_factory=list)
+    #: Lines from StreamRegisterFile.occupancy_report().
+    srf_occupancy: list = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"deadlock forensics for '{self.program}' at cycle {self.cycle}:"]
+        if self.running_kernel:
+            lines.append(f"  running kernel: {self.running_kernel}")
+        if self.blocked:
+            lines.append("  blocked tasks:")
+            lines.extend(f"    {task.describe()}" for task in self.blocked)
+        else:
+            lines.append("  blocked tasks: none")
+        if self.inflight_memory:
+            lines.append("  in-flight memory ops:")
+            lines.extend(f"    {entry}" for entry in self.inflight_memory)
+        else:
+            lines.append("  in-flight memory ops: none")
+        if self.srf_occupancy:
+            lines.append("  SRF occupancy:")
+            lines.extend(f"    {entry}" for entry in self.srf_occupancy)
+        return "\n".join(lines)
+
+
+def build_deadlock_report(program_name: str, cycle: int, *,
+                          mem_waiting=(), kernel_waiting=(), running=None,
+                          completed=frozenset(), controller=None,
+                          srf=None) -> DeadlockReport:
+    """Assemble the waiting-on dump for a watchdog abort.
+
+    ``mem_waiting``/``kernel_waiting`` are the processor's unissued task
+    lists, ``running`` the (task, executor, snapshot) triple of an active
+    kernel, ``completed`` the retired task-id set.
+    """
+    report = DeadlockReport(program=program_name, cycle=cycle)
+    for kind, tasks in (("memory", mem_waiting), ("kernel", kernel_waiting)):
+        for task in tasks:
+            report.blocked.append(BlockedTask(
+                task_id=task.task_id,
+                name=task.name,
+                kind=kind,
+                missing_deps=[d for d in task.deps if d not in completed],
+            ))
+    if running is not None:
+        task, executor, _snapshot = running
+        report.running_kernel = (
+            f"task {task.task_id} '{task.name}' "
+            f"(startup remaining {executor.startup_remaining})"
+        )
+    if controller is not None:
+        report.inflight_memory = controller.inflight_report()
+    if srf is not None:
+        report.srf_occupancy = srf.occupancy_report()
+    return report
 
 
 @dataclass

@@ -22,14 +22,21 @@ from __future__ import annotations
 
 from repro.config.machine import MachineConfig
 from repro.core.srf import StreamRegisterFile
-from repro.errors import ExecutionError
+from repro.errors import DeadlockError
+from repro.faults import (
+    BitFlipInjector,
+    DelaySchedule,
+    DropSchedule,
+    FaultPlan,
+)
 from repro.kernel.ir import Kernel
 from repro.kernel.resources import ClusterResources
 from repro.kernel.schedule import StaticSchedule
 from repro.kernel.scheduler import ModuloScheduler
+from repro.machine.diagnostics import build_deadlock_report
 from repro.machine.executor import KernelExecutor
 from repro.machine.program import StreamProgram
-from repro.machine.stats import ProgramStats
+from repro.machine.stats import FaultStats, ProgramStats
 from repro.memory.controller import MemoryController
 from repro.memory.mainmem import MainMemory
 
@@ -51,6 +58,40 @@ class StreamProcessor:
         self.scheduler = ModuloScheduler(ClusterResources.from_config(config))
         self.cycle = 0
         self._schedule_cache = {}
+        #: Machine-lifetime fault counters; per-program deltas land in
+        #: each run's ``ProgramStats.faults``.
+        self.fault_stats = FaultStats()
+        self._install_faults(config)
+
+    def _install_faults(self, config: MachineConfig) -> None:
+        """Wire the configured fault plan into the components (if any)."""
+        plan = FaultPlan.from_config(config)
+        self._faults_enabled = plan is not None
+        if plan is None:
+            return
+        stats = self.fault_stats
+        self.srf.install_faults(
+            injector=(
+                BitFlipInjector(plan.srf_flips, config.srf_protection, stats)
+                if plan.srf_flips else None
+            ),
+            drop_schedule=(
+                DropSchedule(plan.crossbar_drops)
+                if plan.crossbar_drops else None
+            ),
+        )
+        self.controller.install_faults(
+            injector=(
+                BitFlipInjector(
+                    plan.dram_flips, config.memory_protection, stats
+                )
+                if plan.dram_flips else None
+            ),
+            delay_schedule=(
+                DelaySchedule(plan.memory_delays, stats)
+                if plan.memory_delays else None
+            ),
+        )
 
     # ------------------------------------------------------------------
     def schedule_kernel(self, kernel: Kernel) -> StaticSchedule:
@@ -99,6 +140,8 @@ class StreamProcessor:
         stats = ProgramStats(name=program.name)
         start_cycle = self.cycle
         start_traffic = self.controller.offchip_traffic_words
+        fault_snapshot = self.fault_stats.snapshot()
+        drop_snapshot = self.srf.address_network.stats.dropped_routes
         limit = self.deadlock_limit
         use_fast_forward = self.config.fast_forward
 
@@ -164,9 +207,9 @@ class StreamProcessor:
                         last_progress_cycle = self.cycle + 1
                     self.cycle += skip
                     if self.cycle - last_progress_cycle > limit:
-                        raise ExecutionError(
-                            f"{program.name}: no progress for {limit} "
-                            f"cycles ({remaining_count} tasks left)"
+                        raise self._deadlock(
+                            program, limit, remaining_count,
+                            mem_waiting, kernel_waiting, running, completed,
                         )
                     continue
 
@@ -210,16 +253,37 @@ class StreamProcessor:
             if progressed:
                 last_progress_cycle = self.cycle
             elif self.cycle - last_progress_cycle > limit:
-                raise ExecutionError(
-                    f"{program.name}: no progress for {limit} "
-                    f"cycles ({remaining_count} tasks left)"
+                raise self._deadlock(
+                    program, limit, remaining_count,
+                    mem_waiting, kernel_waiting, running, completed,
                 )
 
         stats.total_cycles = self.cycle - start_cycle
         stats.offchip_words = (
             self.controller.offchip_traffic_words - start_traffic
         )
+        if self._faults_enabled:
+            stats.faults = self.fault_stats.delta(fault_snapshot)
+            stats.faults.dropped_grants = (
+                self.srf.address_network.stats.dropped_routes - drop_snapshot
+            )
         return stats
+
+    def _deadlock(self, program: StreamProgram, limit: int,
+                  remaining_count: int, mem_waiting, kernel_waiting,
+                  running, completed) -> DeadlockError:
+        """Build the watchdog exception, with waiting-on forensics."""
+        report = build_deadlock_report(
+            program.name, self.cycle,
+            mem_waiting=mem_waiting, kernel_waiting=kernel_waiting,
+            running=running, completed=completed,
+            controller=self.controller, srf=self.srf,
+        )
+        return DeadlockError(
+            f"{program.name}: no progress for {limit} "
+            f"cycles ({remaining_count} tasks left)",
+            report=report,
+        )
 
     def _fast_forward_window(self, running, progressed: bool,
                              last_progress_cycle: int, limit: int) -> int:

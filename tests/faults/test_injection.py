@@ -1,0 +1,120 @@
+"""End-to-end fault injection through the machine.
+
+These run real benchmarks on faulted configurations and check the
+properties the reliability study rests on: determinism, zero impact when
+disabled, ECC transparency, and fast-forward equivalence under faults.
+"""
+
+from repro.apps import fft, igraph
+from repro.config import base_config
+from repro.config.presets import isrf4_config
+
+#: A small but busy workload: every fault domain sees traffic.
+FLIPS = dict(fault_seed=13, fault_srf_flips=12, fault_dram_flips=12,
+             fault_horizon=2_000)
+
+
+def run_fft(config):
+    return fft.run(config, n=16, repeats=1)
+
+
+class TestDisabledIsFree:
+    def test_default_config_reports_no_faults(self):
+        result = run_fft(isrf4_config())
+        assert result.verified
+        assert not result.stats.faults.any
+
+    def test_zero_count_plan_keeps_stats_identical(self):
+        # A seed alone (no events) must not perturb anything.
+        clean = run_fft(isrf4_config())
+        seeded = run_fft(isrf4_config().replace(fault_seed=99))
+        assert clean.stats == seeded.stats
+
+
+class TestDeterminism:
+    def test_same_seed_same_stats(self):
+        config = isrf4_config().replace(**FLIPS)
+        first = run_fft(config)
+        second = run_fft(config)
+        assert first.stats == second.stats
+        assert first.stats.faults.injected > 0
+
+    def test_different_seed_different_strikes(self):
+        a = run_fft(isrf4_config().replace(**FLIPS))
+        b = run_fft(isrf4_config().replace(**dict(FLIPS, fault_seed=14)))
+        assert a.stats.faults.injected > 0
+        assert b.stats.faults.injected > 0
+
+
+class TestProtectionOutcomes:
+    def test_unprotected_strikes_corrupt_the_output(self):
+        result = run_fft(isrf4_config().replace(**FLIPS))
+        assert result.stats.faults.uncorrected > 0
+        assert not result.verified
+
+    def test_secded_makes_faulted_run_match_fault_free(self):
+        clean = run_fft(isrf4_config())
+        ecc = run_fft(isrf4_config().replace(
+            srf_protection="secded", memory_protection="secded", **FLIPS
+        ))
+        assert ecc.verified
+        assert ecc.stats.faults.corrected > 0
+        assert ecc.stats.faults.uncorrected == 0
+        # Correction is in-place and free: timing is bit-identical.
+        assert ecc.stats.total_cycles == clean.stats.total_cycles
+
+    def test_parity_detects_and_refetches(self):
+        result = run_fft(isrf4_config().replace(
+            srf_protection="parity", memory_protection="parity", **FLIPS
+        ))
+        assert result.verified
+        faults = result.stats.faults
+        assert faults.detected > 0
+        assert faults.retries == faults.detected
+        assert faults.uncorrected == 0
+
+
+class TestFastForwardEquivalence:
+    def test_flips_identical_across_modes(self):
+        config = isrf4_config().replace(
+            srf_protection="secded", memory_protection="secded", **FLIPS
+        )
+        fast = run_fft(config.replace(fast_forward=True))
+        slow = run_fft(config.replace(fast_forward=False))
+        assert fast.stats == slow.stats
+        assert fast.stats.faults.injected > 0
+
+    def test_drops_and_delays_identical_across_modes(self):
+        # igraph's cross-lane indexed reads exercise the drop windows;
+        # the delay events stretch its gather loads.
+        config = isrf4_config().replace(
+            fault_seed=21, fault_crossbar_drops=6, fault_memory_delays=4,
+            fault_horizon=2_000,
+        )
+        fast = igraph.run(config.replace(fast_forward=True),
+                          dataset="IG_SML")
+        slow = igraph.run(config.replace(fast_forward=False),
+                          dataset="IG_SML")
+        assert fast.stats == slow.stats
+        assert fast.stats.faults.dropped_grants > 0
+
+
+class TestTransientFaults:
+    def test_memory_delays_slow_the_program(self):
+        clean = run_fft(base_config())
+        delayed = run_fft(base_config().replace(
+            fault_seed=21, fault_memory_delays=4, fault_horizon=2_000
+        ))
+        assert delayed.verified  # delays never corrupt data
+        assert delayed.stats.faults.delayed_ops > 0
+        assert delayed.stats.faults.delay_cycles > 0
+        assert delayed.stats.total_cycles > clean.stats.total_cycles
+
+    def test_crossbar_drops_are_counted_and_survived(self):
+        # Only cross-lane indexed traffic routes through the address
+        # network, so the drop windows need igraph's gather accesses.
+        result = igraph.run(isrf4_config().replace(
+            fault_seed=21, fault_crossbar_drops=6, fault_horizon=2_000
+        ), dataset="IG_SML")
+        assert result.verified  # dropped grants retry, never corrupt
+        assert result.stats.faults.dropped_grants > 0

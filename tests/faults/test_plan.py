@@ -1,0 +1,134 @@
+"""Seeded fault plans: determinism, config wiring, env parsing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULTS_ENV,
+    FaultEvent,
+    FaultPlan,
+    fault_overrides_from_env,
+)
+from repro.config import base_config
+
+
+class TestSeededPlans:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(srf_flips=8, dram_flips=4, crossbar_drops=3,
+                      memory_delays=2, horizon=10_000)
+        a = FaultPlan.seeded(42, **kwargs)
+        b = FaultPlan.seeded(42, **kwargs)
+        assert a.srf_flips == b.srf_flips
+        assert a.dram_flips == b.dram_flips
+        assert a.crossbar_drops == b.crossbar_drops
+        assert a.memory_delays == b.memory_delays
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.seeded(1, srf_flips=16, horizon=10_000)
+        b = FaultPlan.seeded(2, srf_flips=16, horizon=10_000)
+        assert a.srf_flips != b.srf_flips
+
+    def test_counts_and_domains(self):
+        plan = FaultPlan.seeded(7, srf_flips=5, dram_flips=3,
+                                crossbar_drops=2, memory_delays=1)
+        assert len(plan.srf_flips) == 5
+        assert len(plan.dram_flips) == 3
+        assert len(plan.crossbar_drops) == 2
+        assert len(plan.memory_delays) == 1
+        assert len(plan) == 11
+
+    def test_events_within_horizon_and_word(self):
+        plan = FaultPlan.seeded(3, srf_flips=50, horizon=1_000)
+        assert all(0 <= e.cycle < 1_000 for e in plan.srf_flips)
+        assert all(0 <= e.bit < 32 for e in plan.srf_flips)
+
+    def test_double_flip_fraction(self):
+        plan = FaultPlan.seeded(9, srf_flips=200, horizon=1_000,
+                                double_flip_fraction=0.5)
+        doubles = sum(1 for e in plan.srf_flips if e.bits == 2)
+        assert 0 < doubles < 200
+
+    def test_drop_and_delay_durations_positive(self):
+        plan = FaultPlan.seeded(5, crossbar_drops=20, memory_delays=20)
+        assert all(e.duration >= 1 for e in plan.crossbar_drops)
+        assert all(e.duration >= 1 for e in plan.memory_delays)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ConfigurationError, match="horizon"):
+            FaultPlan.seeded(1, srf_flips=1, horizon=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultPlan([FaultEvent(cycle=0, kind="gamma_ray")])
+
+
+class TestFromConfig:
+    def test_default_config_has_no_plan(self):
+        assert FaultPlan.from_config(base_config()) is None
+
+    def test_config_counts_respected(self):
+        config = base_config().replace(
+            fault_seed=11, fault_srf_flips=6, fault_dram_flips=2,
+            fault_horizon=5_000,
+        )
+        plan = FaultPlan.from_config(config)
+        assert len(plan.srf_flips) == 6
+        assert len(plan.dram_flips) == 2
+        assert not plan.crossbar_drops and not plan.memory_delays
+
+    def test_faults_require_seed(self):
+        with pytest.raises(ConfigurationError, match="fault_seed"):
+            base_config().replace(fault_srf_flips=4)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            base_config().replace(fault_seed=1, fault_srf_flips=-1)
+
+    def test_unknown_protection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            base_config().replace(srf_protection="tmr")
+
+
+class TestEnvOverrides:
+    def test_unset_yields_empty(self):
+        assert fault_overrides_from_env({}) == {}
+        assert fault_overrides_from_env({FAULTS_ENV: "  "}) == {}
+
+    def test_full_spec_parsed(self):
+        overrides = fault_overrides_from_env({
+            FAULTS_ENV: "seed=7, srf=24, dram=8, xbar=2, delay=3, "
+                        "horizon=9000"
+        })
+        assert overrides == {
+            "fault_seed": 7, "fault_srf_flips": 24,
+            "fault_dram_flips": 8, "fault_crossbar_drops": 2,
+            "fault_memory_delays": 3, "fault_horizon": 9000,
+        }
+
+    def test_protection_sets_both_domains(self):
+        overrides = fault_overrides_from_env({FAULTS_ENV:
+                                              "protection=secded"})
+        assert overrides == {"srf_protection": "secded",
+                             "memory_protection": "secded"}
+
+    def test_single_domain_protection(self):
+        overrides = fault_overrides_from_env({FAULTS_ENV:
+                                              "srf_protection=parity"})
+        assert overrides == {"srf_protection": "parity"}
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="bad REPRO_FAULTS"):
+            fault_overrides_from_env({FAULTS_ENV: "cosmic=1"})
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ConfigurationError, match="needs an integer"):
+            fault_overrides_from_env({FAULTS_ENV: "srf=lots"})
+
+    def test_overrides_build_a_valid_config(self):
+        overrides = fault_overrides_from_env({
+            FAULTS_ENV: "seed=13,srf=12,protection=secded"
+        })
+        config = base_config().replace(**overrides)
+        plan = FaultPlan.from_config(config)
+        assert len(plan.srf_flips) == 12
+        assert config.srf_protection == "secded"

@@ -1,0 +1,166 @@
+"""Word corruption and protection semantics, plus the fault schedules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    BitFlipInjector,
+    DelaySchedule,
+    DropSchedule,
+    FaultEvent,
+    PROTECTION_CHECK_BITS,
+    WordProtection,
+    corrupt_word,
+)
+from repro.faults.plan import MEM_DELAY, SRF_FLIP, XBAR_DROP
+from repro.machine.stats import FaultStats
+
+
+def flip(cycle, bit=0, bits=1):
+    return FaultEvent(cycle=cycle, kind=SRF_FLIP, bit=bit, bits=bits)
+
+
+class TestCorruptWord:
+    def test_int_flip_is_an_involution(self):
+        assert corrupt_word(0, 5) == 32
+        assert corrupt_word(corrupt_word(1234, 17), 17) == 1234
+
+    def test_int_bit_wraps_to_word_width(self):
+        assert corrupt_word(0, 32) == corrupt_word(0, 0)
+
+    def test_bool_flips(self):
+        assert corrupt_word(True, 3) is False
+        assert corrupt_word(False, 0) is True
+
+    def test_float_changes_value(self):
+        assert corrupt_word(1.5, 20) != 1.5
+        assert isinstance(corrupt_word(1.5, 20), float)
+
+    def test_float_high_bit_is_large_perturbation(self):
+        # Bit 30 sits in the single-precision exponent: the corruption
+        # must be visible to any end-to-end verification tolerance.
+        value = 3.25
+        struck = corrupt_word(value, 30)
+        assert abs(struck - value) > 1.0
+
+    def test_float_outside_single_range_uses_double_image(self):
+        huge = 1e300  # overflows float32
+        struck = corrupt_word(huge, 4)
+        assert struck != huge
+
+    def test_opaque_payload_is_poisoned(self):
+        struck = corrupt_word(("record", 1, 2), 0)
+        assert struck[0] == "<corrupt>"
+
+
+class TestWordProtection:
+    def test_check_bits(self):
+        assert PROTECTION_CHECK_BITS == {"none": 0, "parity": 1,
+                                         "secded": 7}
+        assert WordProtection("secded").check_bits == 7
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown protection"):
+            WordProtection("tmr")
+
+    def test_secded_corrects_single_bit(self):
+        stats = FaultStats()
+        value = WordProtection("secded").deliver(99, flip(0), stats)
+        assert value == 99  # corrected in place
+        assert (stats.injected, stats.corrected, stats.uncorrected) \
+            == (1, 1, 0)
+
+    def test_secded_detects_but_delivers_double_bit(self):
+        stats = FaultStats()
+        value = WordProtection("secded").deliver(0, flip(0, bit=3, bits=2),
+                                                 stats)
+        assert value == 0b11000  # bits 3 and 4 flipped
+        assert (stats.detected, stats.uncorrected, stats.corrected) \
+            == (1, 1, 0)
+
+    def test_parity_detects_odd_and_retries(self):
+        stats = FaultStats()
+        value = WordProtection("parity").deliver(7, flip(0), stats)
+        assert value == 7  # refetched
+        assert (stats.detected, stats.retries, stats.uncorrected) \
+            == (1, 1, 0)
+
+    def test_parity_misses_even_flips(self):
+        stats = FaultStats()
+        value = WordProtection("parity").deliver(0, flip(0, bits=2), stats)
+        assert value != 0
+        assert (stats.detected, stats.uncorrected) == (0, 1)
+
+    def test_none_is_silent_corruption(self):
+        stats = FaultStats()
+        value = WordProtection("none").deliver(0, flip(0, bit=9), stats)
+        assert value == 512
+        assert (stats.injected, stats.uncorrected, stats.detected) \
+            == (1, 1, 0)
+
+
+class TestBitFlipInjector:
+    def test_strikes_arm_by_cycle_and_hit_next_read(self):
+        injector = BitFlipInjector([flip(10, bit=0), flip(20, bit=1)],
+                                   "none", FaultStats())
+        injector.advance(9)
+        assert not injector.armed
+        assert injector.filter(5) == 5  # nothing armed yet
+        injector.advance(10)
+        assert injector.armed
+        assert injector.filter(0) == 1  # first armed strike consumed
+        assert injector.filter(0) == 0  # no second strike until cycle 20
+        injector.advance(25)
+        assert injector.filter(0) == 2
+        assert injector.exhausted
+
+    def test_batched_advance_matches_stepped(self):
+        # The fast-forward path advances in one jump; armed strikes and
+        # their order must match a cycle-by-cycle advance.
+        events = [flip(c, bit=c % 32) for c in (3, 7, 7, 12)]
+        jumped = BitFlipInjector(events, "none", FaultStats())
+        stepped = BitFlipInjector(events, "none", FaultStats())
+        jumped.advance(12)
+        for cycle in range(13):
+            stepped.advance(cycle)
+        for _ in events:
+            assert jumped.filter(0) == stepped.filter(0)
+
+
+class TestDropSchedule:
+    def test_window_covers_duration(self):
+        sched = DropSchedule(
+            [FaultEvent(cycle=5, kind=XBAR_DROP, duration=3)]
+        )
+        assert not sched.active(4)
+        assert sched.active(5) and sched.active(7)
+        assert not sched.active(8)
+
+    def test_overlapping_windows_extend(self):
+        sched = DropSchedule([
+            FaultEvent(cycle=5, kind=XBAR_DROP, duration=4),
+            FaultEvent(cycle=7, kind=XBAR_DROP, duration=10),
+        ])
+        assert sched.active(8) and sched.active(16)
+        assert not sched.active(17)
+
+    def test_skipped_cycles_do_not_shift_windows(self):
+        sched = DropSchedule(
+            [FaultEvent(cycle=5, kind=XBAR_DROP, duration=2)]
+        )
+        # Jump straight past the window, as fast-forward would.
+        assert not sched.active(100)
+
+
+class TestDelaySchedule:
+    def test_due_events_charge_latency_once(self):
+        stats = FaultStats()
+        sched = DelaySchedule([
+            FaultEvent(cycle=10, kind=MEM_DELAY, duration=6),
+            FaultEvent(cycle=12, kind=MEM_DELAY, duration=4),
+        ], stats)
+        assert sched.extra_latency(5) == 0
+        assert sched.extra_latency(15) == 10  # both consumed together
+        assert sched.extra_latency(16) == 0
+        assert stats.delayed_ops == 1
+        assert stats.delay_cycles == 10

@@ -53,6 +53,48 @@ class TestArgumentErrors:
         assert main(["table3", "--jobs", "0"]) == 2
         assert "--jobs must be >= 1" in capsys.readouterr().err
 
+    def test_bad_timeout_value_fails(self, capsys):
+        assert main(["table3", "--timeout", "soon"]) == 2
+        assert "--timeout needs a number" in capsys.readouterr().err
+
+    def test_nonpositive_timeout_fails(self, capsys):
+        assert main(["table3", "--timeout", "0"]) == 2
+        assert "--timeout must be positive" in capsys.readouterr().err
+
+
+class TestGracefulDegradation:
+    def test_failure_reported_and_exit_nonzero(self, monkeypatch, capsys):
+        from repro.harness.runner import FAIL_EXPERIMENT_ENV
+
+        monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "area")
+        assert main(["table3", "area", "--no-cache"]) == 1
+        captured = capsys.readouterr()
+        assert "Table 3" in captured.out  # the healthy experiment ran
+        assert "FAILED area" in captured.out
+        assert "1 experiment(s) failed: area" in captured.err
+
+    def test_json_records_structured_failure(self, monkeypatch, tmp_path,
+                                             capsys):
+        from repro.harness.runner import FAIL_EXPERIMENT_ENV
+
+        monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "area")
+        path = tmp_path / "out.json"
+        assert main(["table3", "area", "--no-cache", "--jobs", "2",
+                     "--json", str(path)]) == 1
+        data = json.loads(path.read_text())
+        assert data["experiments"]["table3"]["status"] == "ok"
+        record = data["experiments"]["area"]
+        assert record["status"] == "failed"
+        assert record["attempts"] == 2
+        assert "forced failure" in record["error"]
+
+    def test_fail_fast_aborts_with_exit_1(self, monkeypatch, capsys):
+        from repro.harness.runner import FAIL_EXPERIMENT_ENV
+
+        monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "table3")
+        assert main(["table3", "area", "--no-cache", "--fail-fast"]) == 1
+        assert "experiment 'table3' failed" in capsys.readouterr().err
+
 
 class TestNewOptions:
     def test_list_prints_experiment_names(self, capsys):

@@ -1,5 +1,7 @@
 """The experiment registry, parallel runner, and on-disk result cache."""
 
+import os
+
 import pytest
 
 from repro.config.presets import isrf4_config
@@ -7,7 +9,11 @@ from repro.harness import figures
 from repro.harness.resultcache import ResultCache
 from repro.harness.runner import (
     EXPERIMENTS,
+    FAIL_EXPERIMENT_ENV,
+    HANG_EXPERIMENT_ENV,
+    ExperimentError,
     experiment_names,
+    failed,
     run_experiment,
     run_many,
 )
@@ -50,6 +56,60 @@ class TestRunMany:
         assert set(timings) == {"table3", "area"}
 
 
+class TestGracefulDegradation:
+    def test_serial_failure_keeps_other_results(self, monkeypatch):
+        monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "area")
+        results, timings = run_many(["table3", "area"])
+        assert "text" in results["table3"]
+        assert failed(results["area"])
+        assert results["area"]["attempts"] == 1
+        assert "forced failure" in results["area"]["error"]
+        assert set(timings) == {"table3", "area"}
+
+    def test_serial_fail_fast_raises(self, monkeypatch):
+        monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "table3")
+        with pytest.raises(ExperimentError, match="table3"):
+            run_many(["table3", "area"], fail_fast=True)
+
+    def test_isolated_failure_is_retried_then_recorded(self, monkeypatch):
+        monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "area")
+        results, _ = run_many(["table3", "area"], jobs=2)
+        assert "text" in results["table3"]
+        assert failed(results["area"])
+        assert results["area"]["attempts"] == 2
+
+    def test_worker_crash_is_isolated(self, monkeypatch):
+        # A worker dying outright (not an exception it can report) must
+        # still leave the other experiments' results intact.
+        monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "area")
+        monkeypatch.setattr(
+            "repro.harness.runner._apply_test_hooks",
+            lambda name: name == "area" and os._exit(17),
+        )
+        results, _ = run_many(["table3", "area"], jobs=2)
+        assert "text" in results["table3"]
+        assert failed(results["area"])
+        assert "worker crashed" in results["area"]["error"]
+
+    def test_hang_is_killed_by_timeout(self, monkeypatch):
+        monkeypatch.setenv(HANG_EXPERIMENT_ENV, "area")
+        results, _ = run_many(["table3", "area"], jobs=2, timeout=1.0)
+        assert "text" in results["table3"]
+        assert failed(results["area"])
+        assert "timed out" in results["area"]["error"]
+        assert results["area"]["attempts"] == 2
+
+    def test_isolated_fail_fast_raises(self, monkeypatch):
+        monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "table3")
+        with pytest.raises(ExperimentError, match="table3"):
+            run_many(["table3", "area"], jobs=2, fail_fast=True)
+
+    def test_failed_predicate(self):
+        assert failed({"status": "failed", "error": "x", "attempts": 2})
+        assert not failed({"text": "fine"})
+        assert not failed("not even a dict")
+
+
 class TestResultCache:
     def test_roundtrip(self, tmp_path):
         cache = ResultCache(str(tmp_path / "cache"))
@@ -86,6 +146,39 @@ class TestResultCache:
         cache.put("y", config, "small", 2)
         assert cache.clear() == 2
         assert cache.get("x", config, "small") is None
+
+    def test_unpicklable_result_leaves_no_temp_file(self, tmp_path):
+        # Regression: a pickling failure used to leak the .tmp file.
+        cache = ResultCache(str(tmp_path))
+        config = isrf4_config()
+        cache.put("x", config, "small", lambda: None)  # unpicklable
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not list(tmp_path.glob("*.pkl"))
+        assert cache.get("x", config, "small") is None
+
+    def test_corrupt_entry_is_quarantined_not_reparsed(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = isrf4_config()
+        cache.put("x", config, "small", [1])
+        path = cache._path(cache.key("x", config, "small"))
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")
+        assert cache.get("x", config, "small") is None
+        assert not os.path.exists(path)  # moved aside, not left in place
+        assert os.path.exists(path + ".bad")
+        # A later put recreates the entry cleanly.
+        cache.put("x", config, "small", [2])
+        assert cache.get("x", config, "small") == [2]
+
+    def test_clear_counts_only_real_entries(self, tmp_path):
+        # Regression: leftover .tmp files used to inflate the count.
+        cache = ResultCache(str(tmp_path))
+        config = isrf4_config()
+        cache.put("x", config, "small", 1)
+        (tmp_path / "leftover.tmp").write_bytes(b"")
+        (tmp_path / "stale.pkl.bad").write_bytes(b"garbage")
+        assert cache.clear() == 1
+        assert not list(tmp_path.iterdir())  # debris deleted regardless
 
     def test_run_benchmark_uses_installed_cache(self, tmp_path):
         cache = ResultCache(str(tmp_path))

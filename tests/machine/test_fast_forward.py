@@ -7,7 +7,7 @@ from repro.apps import fft, sort
 from repro.config import base_config
 from repro.config.presets import all_configs
 from repro.core import SrfArray
-from repro.errors import ExecutionError
+from repro.errors import DeadlockError, ExecutionError
 from repro.machine import StreamProcessor, StreamProgram
 from repro.memory import load_op
 
@@ -82,3 +82,34 @@ class TestDeadlockNotMasked:
     def test_deadlock_cycles_validated(self):
         with pytest.raises(Exception, match="deadlock_cycles"):
             base_config().replace(deadlock_cycles=0)
+
+    @pytest.mark.parametrize("fast_forward", [True, False])
+    def test_abort_raises_deadlock_error_with_report(self, fast_forward):
+        config = base_config().replace(
+            deadlock_cycles=500, fast_forward=fast_forward
+        )
+        proc = StreamProcessor(config)
+        with pytest.raises(DeadlockError) as excinfo:
+            proc.run_program(self._stuck_program(proc))
+        error = excinfo.value
+        assert isinstance(error, ExecutionError)  # old handlers still work
+        assert error.report is not None
+        assert error.report.program == "stuck"
+        assert error.report.cycle == proc.cycle
+
+    def test_report_names_the_blocked_task_and_its_deps(self):
+        config = base_config().replace(deadlock_cycles=500)
+        proc = StreamProcessor(config)
+        with pytest.raises(DeadlockError) as excinfo:
+            proc.run_program(self._stuck_program(proc))
+        report = excinfo.value.report
+        blocked = report.blocked
+        assert len(blocked) == 1
+        assert blocked[0].name == "load:a"
+        assert blocked[0].kind == "memory"
+        assert 10**9 in blocked[0].missing_deps
+        text = report.describe()
+        assert "deadlock forensics" in text
+        assert "waiting on: 1000000000" in text
+        # The dump reaches the exception message seen by the user.
+        assert "waiting on" in str(excinfo.value)
