@@ -113,6 +113,22 @@ class MachineConfig:
     #: bit-identical to per-cycle stepping; disable only to cross-check.
     fast_forward: bool = True
 
+    # --- Observability (repro.observe) -----------------------------------
+    #: Record structured trace events (Chrome trace_event export). Off by
+    #: default: a disabled machine carries no tracer at all, and observed
+    #: runs are bit-identical to unobserved ones — observation never
+    #: alters timing or control flow.
+    trace: bool = False
+    #: Where the harness ``trace`` experiment writes the exported JSON.
+    trace_path: "str | None" = None
+    #: Ring-buffer capacity of the tracer (oldest events drop when full).
+    trace_buffer_events: int = 1 << 20
+    #: Metrics depth: 0 = off, 1 = per-run aggregates via lazy providers,
+    #: 2 = adds per-bank conflict counters and occupancy histograms.
+    metrics_level: int = 0
+    #: Sampling profiler period in cycles (0 disables the profiler).
+    profile_sample_period: int = 0
+
     # --- Fault injection & protection (repro.faults) --------------------
     #: Seed for the deterministic :class:`repro.faults.FaultPlan`. Must be
     #: set whenever any fault count below is non-zero.
@@ -277,6 +293,16 @@ class MachineConfig:
             )
         if self.deadlock_cycles is not None and self.deadlock_cycles <= 0:
             raise ConfigurationError("deadlock_cycles must be positive")
+        if self.trace_buffer_events <= 0:
+            raise ConfigurationError("trace_buffer_events must be positive")
+        if self.metrics_level not in (0, 1, 2):
+            raise ConfigurationError(
+                f"metrics_level must be 0, 1 or 2, got {self.metrics_level}"
+            )
+        if self.profile_sample_period < 0:
+            raise ConfigurationError(
+                "profile_sample_period must be non-negative"
+            )
         fault_counts = (
             self.fault_srf_flips, self.fault_dram_flips,
             self.fault_crossbar_drops, self.fault_memory_delays,

@@ -21,18 +21,25 @@ from __future__ import annotations
 
 from repro.config.machine import MachineConfig, SrfMode
 from repro.faults.plan import fault_overrides_from_env
+from repro.observe.observer import trace_overrides_from_env
 
 
 def _finish(cfg: MachineConfig, overrides: dict) -> MachineConfig:
-    """Apply env fault overrides, then explicit ones, and validate.
+    """Apply env overrides, then explicit ones, and validate.
 
     The ``REPRO_FAULTS`` environment variable (see
     :func:`repro.faults.fault_overrides_from_env`) overlays fault/
     protection knobs onto every preset, so the whole harness can run
     under injected faults without touching any call site; explicit
-    keyword overrides still win.
+    keyword overrides still win. ``REPRO_TRACE`` (see
+    :func:`repro.observe.trace_overrides_from_env`) does the same for
+    the observability knobs.
     """
-    merged = {**fault_overrides_from_env(), **overrides}
+    merged = {
+        **fault_overrides_from_env(),
+        **trace_overrides_from_env(),
+        **overrides,
+    }
     return cfg.replace(**merged) if merged else _validated(cfg)
 
 

@@ -101,7 +101,8 @@ class SequentialPort:
             descriptor.base, descriptor.length_words
         )
         self.fifo = LaneFifo(
-            geometry.lanes, buffer_words or srf.config.stream_buffer_words
+            geometry.lanes, buffer_words or srf.config.stream_buffer_words,
+            occupancy_probe=srf._stream_buffer_probe,
         )
         self._blocks_done = 0
         #: Words per lane granted but not yet delivered (pipelined reads
@@ -273,6 +274,9 @@ class IndexedStream:
         tickets = [self.robs[lane].reserve() for _ in words]
         self.fifos[lane].push(RecordAccess(words=words, tickets=tickets))
         self.pending_words += len(words)
+        hist = self.srf._addr_fifo_hist
+        if hist is not None:
+            hist.record(self.fifos[lane].occupancy)
 
     def issue_write(self, lane: int, record_index: int, values) -> None:
         """Enqueue a record write carrying its data words."""
@@ -288,6 +292,9 @@ class IndexedStream:
         self.fifos[lane].push(RecordAccess(words=words, values=values))
         self.pending_words += len(words)
         self.outstanding_writes += len(words)
+        hist = self.srf._addr_fifo_hist
+        if hist is not None:
+            hist.record(self.fifos[lane].occupancy)
 
     def data_ready(self, lane: int) -> bool:
         """Whether the oldest issued record's next word is readable."""
@@ -372,6 +379,11 @@ class StreamRegisterFile:
         self._drop_schedule = None
         self._faults_enabled = False
         self._drops_active = False
+        # Observability (repro.observe); same inertness contract.
+        self._tracer = None
+        self._bank_conflicts = None
+        self._addr_fifo_hist = None
+        self._stream_buffer_probe = None
         self._occupancy_policy = config.indexed_arbitration == "occupancy"
         self._shared_network = config.shared_interlane_network
         #: Per-bank grant cap for indexed word accesses per cycle.
@@ -399,6 +411,12 @@ class StreamRegisterFile:
             )
         port = SequentialPort(self, descriptor, direction, buffer_words)
         self._seq_ports.append(port)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "srf", f"open:{descriptor.name}", self.stats.cycles,
+                direction=direction.value,
+                length_words=descriptor.length_words,
+            )
         return port
 
     def close_sequential(self, port: SequentialPort) -> None:
@@ -428,6 +446,12 @@ class StreamRegisterFile:
         stream = IndexedStream(self, descriptor)
         self._indexed[descriptor.stream_id] = stream
         self._indexed_list.append(stream)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "srf", f"open:{descriptor.name}", self.stats.cycles,
+                kind=descriptor.kind.name,
+                length_records=descriptor.length_records,
+            )
         return stream
 
     def close_indexed(self, stream: IndexedStream) -> None:
@@ -437,6 +461,48 @@ class StreamRegisterFile:
             )
         del self._indexed[stream.descriptor.stream_id]
         self._indexed_list.remove(stream)
+
+    # ------------------------------------------------------------------
+    # Observability (repro.observe)
+    # ------------------------------------------------------------------
+    def install_observer(self, observer) -> None:
+        """Attach an :class:`repro.observe.Observer`; None is a no-op.
+
+        Observation never alters SRF behaviour: the tracer records
+        stream open/close events, the metrics registry reads the
+        existing :class:`SrfStats` through a provider, and metrics level
+        2 additionally counts per-bank arbitration conflicts and samples
+        address-FIFO / stream-buffer occupancy on issue paths.
+        """
+        if observer is None:
+            return
+        self._tracer = observer.tracer
+        metrics = observer.metrics
+        if metrics is None:
+            return
+        metrics.add_provider(self._metrics_provider)
+        if metrics.level >= 2:
+            self._bank_conflicts = [
+                metrics.counter(f"srf.bank{bank}.blocked_heads")
+                for bank in range(self.geometry.lanes)
+            ]
+            self._addr_fifo_hist = metrics.histogram("srf.addr_fifo.depth")
+            hist = metrics.histogram("srf.stream_buffer.occupancy")
+            self._stream_buffer_probe = hist.record
+
+    def _metrics_provider(self) -> dict:
+        s = self.stats
+        return {
+            "srf.cycles": s.cycles,
+            "srf.sequential_grants": s.sequential_grants,
+            "srf.sequential_words": s.sequential_words,
+            "srf.inlane_grants": s.inlane_grants,
+            "srf.crosslane_grants": s.crosslane_grants,
+            "srf.indexed_write_grants": s.indexed_write_grants,
+            "srf.indexed_cycles": s.indexed_cycles,
+            "srf.empty_indexed_cycles": s.empty_indexed_cycles,
+            "srf.blocked_heads": s.blocked_heads,
+        }
 
     # ------------------------------------------------------------------
     # Fault injection (repro.faults)
@@ -652,7 +718,10 @@ class StreamRegisterFile:
             self._launch(stream, word, bank, cycle)
             granted += 1
         self._bank_arbiters[bank].advance(len(heads))
-        return granted, len(heads) - granted
+        blocked = len(heads) - granted
+        if self._bank_conflicts is not None and blocked:
+            self._bank_conflicts[bank].add(blocked)
+        return granted, blocked
 
     def _launch(self, stream: IndexedStream, word: WordAccess, bank: int,
                 cycle: int) -> None:

@@ -28,14 +28,20 @@ class LaneFifo:
 
     All lanes fill and drain at the same rate because clusters execute in
     SIMD lockstep, so occupancy is tracked once and asserted uniform.
+
+    ``occupancy_probe``, when given, is called with the per-lane
+    occupancy after every push; the observability layer points it at a
+    histogram so buffer-depth distributions cost one call only when
+    metrics are enabled.
     """
 
-    def __init__(self, lanes: int, capacity_words: int):
+    def __init__(self, lanes: int, capacity_words: int, occupancy_probe=None):
         if lanes <= 0 or capacity_words <= 0:
             raise SrfError("LaneFifo needs positive lanes and capacity")
         self.lanes = lanes
         self.capacity = capacity_words
         self._fifos = [deque() for _ in range(lanes)]
+        self._occupancy_probe = occupancy_probe
 
     @property
     def occupancy(self) -> int:
@@ -68,6 +74,8 @@ class LaneFifo:
             raise SrfError("stream buffer overflow")
         for fifo, words in zip(self._fifos, per_lane_words):
             fifo.extend(words)
+        if self._occupancy_probe is not None:
+            self._occupancy_probe(self.occupancy)
 
     def pop_block(self, words: int) -> list:
         """Pop ``words`` words from every lane (an SRF-side drain)."""
@@ -85,6 +93,8 @@ class LaneFifo:
             raise SrfError("stream buffer overflow")
         for fifo, value in zip(self._fifos, lane_values):
             fifo.append(value)
+        if self._occupancy_probe is not None:
+            self._occupancy_probe(self.occupancy)
 
     def pop_simd(self) -> list:
         """Pop one word per lane (a cluster-side read)."""

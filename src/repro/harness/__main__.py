@@ -36,10 +36,14 @@ options:
   --json PATH      also dump structured results as JSON to PATH
   --cache-dir DIR  on-disk benchmark result cache (default {cache_dir})
   --no-cache       disable the on-disk cache for this run
+  --trace-path P   output file of the `trace` experiment
+                   (default repro-trace.json; load in Perfetto)
   --list           list experiment names and exit
 
 Workload scale is chosen by the REPRO_SCALE environment variable
-(small / medium / paper; default small)."""
+(small / medium / paper; default small). REPRO_TRACE overlays
+observability knobs on every machine config
+(e.g. REPRO_TRACE="trace=1,metrics=2,profile=64")."""
 
 
 def _usage() -> str:
@@ -69,12 +73,13 @@ def _parse_args(argv):
     """Split argv into (names, options) or raise ValueError."""
     options = {"json": None, "jobs": 1, "cache_dir": default_cache_dir(),
                "no_cache": False, "list": False, "timeout": None,
-               "fail_fast": False}
+               "fail_fast": False, "trace_path": None}
     names = []
     position = 0
     while position < len(argv):
         token = argv[position]
-        if token in ("--json", "--jobs", "--cache-dir", "--timeout"):
+        if token in ("--json", "--jobs", "--cache-dir", "--timeout",
+                     "--trace-path"):
             if position + 1 >= len(argv):
                 raise ValueError(f"{token} requires a value")
             value = argv[position + 1]
@@ -82,6 +87,8 @@ def _parse_args(argv):
                 options["json"] = value
             elif token == "--cache-dir":
                 options["cache_dir"] = value
+            elif token == "--trace-path":
+                options["trace_path"] = value
             elif token == "--timeout":
                 try:
                     options["timeout"] = float(value)
@@ -140,6 +147,8 @@ def main(argv=None) -> int:
         else known
 
     cache_dir = None if options["no_cache"] else options["cache_dir"]
+    # Forked workers inherit the path, so isolated runs see it too.
+    figures.set_trace_path(options["trace_path"])
     scale = figures.default_scale()
     print(f"# repro harness (scale: {scale}, jobs: {options['jobs']})\n")
     try:

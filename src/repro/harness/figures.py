@@ -23,12 +23,13 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro import observe
 from repro.apps import fft, filter2d, igraph, microbench, rijndael, sort
 from repro.apps.common import AppResult
 from repro.area.energy import EnergyModel
 from repro.area.floorplan import DieModel
 from repro.area.sram import SrfAreaModel
-from repro.config.presets import all_configs, isrf4_config
+from repro.config.presets import all_configs, base_config, isrf4_config
 from repro.harness.report import render_grid, render_table
 from repro.kernel.resources import ClusterResources
 from repro.kernel.scheduler import ModuloScheduler
@@ -70,6 +71,32 @@ def set_result_cache(cache) -> None:
     """Install (or with None, remove) a disk cache behind run_benchmark."""
     global _result_cache
     _result_cache = cache
+
+
+#: Explicit trace output path (CLI ``--trace-path``); overrides the
+#: ``REPRO_TRACE`` path and the default.
+_trace_path = None
+
+#: Default trace export filename of the ``trace`` experiment.
+DEFAULT_TRACE_PATH = "repro-trace.json"
+
+
+def set_trace_path(path: "str | None") -> None:
+    """Install (or with None, remove) the trace experiment output path."""
+    global _trace_path
+    _trace_path = path
+
+
+def trace_output_path() -> str:
+    """Where the ``trace`` experiment writes its Perfetto JSON.
+
+    Precedence: CLI ``--trace-path`` > ``REPRO_TRACE``'s ``path=`` key >
+    :data:`DEFAULT_TRACE_PATH`.
+    """
+    if _trace_path is not None:
+        return _trace_path
+    env = observe.trace_overrides_from_env().get("trace_path")
+    return env or DEFAULT_TRACE_PATH
 
 
 def run_benchmark(name: str, config, scale: str) -> AppResult:
@@ -589,6 +616,75 @@ def reliability(scale: "str | None" = None) -> dict:
          "retries", "SRF area", "energy"], rows,
     )
     return {"data": data, "rows": rows, "text": text}
+
+
+# ----------------------------------------------------------------------
+# Observability: exported Base vs ISRF4 execution trace
+# ----------------------------------------------------------------------
+#: Sampling-profiler period used by the trace experiment.
+TRACE_SAMPLE_PERIOD = 64
+
+
+def trace(scale: "str | None" = None) -> dict:
+    """Run FFT 2D on Base and ISRF4 with full observability and export
+    the combined Chrome ``trace_event`` / Perfetto JSON.
+
+    Unlike the figure experiments this never goes through the benchmark
+    result cache: a cache hit would skip the simulation and produce no
+    events, so the runs are always simulated fresh. The export is staged
+    as ``<name>.trace.trace.tmp`` (in the result-cache directory when one
+    is installed) and renamed into place atomically; the parallel runner
+    sweeps up staging leftovers if a worker dies mid-export.
+    """
+    scale = scale or default_scale()
+    params = SCALES[scale]
+    path = trace_output_path()
+    observability = dict(
+        trace=True, metrics_level=2,
+        profile_sample_period=TRACE_SAMPLE_PERIOD,
+    )
+    rows = []
+    with observe.collect() as collected:
+        for config in (base_config(**observability),
+                       isrf4_config(**observability)):
+            result = fft.run(config, n=params["fft_n"])
+            result.require_verified()
+            profile = {
+                name.split(".")[1]: entry["value"]
+                for name, entry in result.stats.metrics.items()
+                if name.startswith("profile.") and name.endswith(".cycles")
+            }
+            rows.append([
+                config.name, result.cycles,
+                profile.get("kernel", 0) + profile.get("kernel_startup", 0),
+                profile.get("memory_stall", 0), profile.get("idle", 0),
+            ])
+    tracers = collected.tracers()
+    payload = observe.chrome_trace(tracers)
+    phase_counts = observe.validate_chrome_trace(payload)
+    staging_dir = (
+        _result_cache.directory if _result_cache is not None else None
+    )
+    observe.write_trace(payload, path, experiment="trace",
+                        staging_dir=staging_dir)
+    events = sum(len(tracer) for tracer in tracers.values())
+    text = render_table(
+        f"Trace: FFT 2D on Base vs ISRF4 ({events} events -> {path}; "
+        "load in https://ui.perfetto.dev). Profiled cycles sampled every "
+        f"{TRACE_SAMPLE_PERIOD} cycles.",
+        ["config", "cycles", "~kernel", "~mem stall", "~idle"], rows,
+    )
+    return {
+        "rows": rows,
+        "trace_path": path,
+        "events": events,
+        "phase_counts": phase_counts,
+        "dropped_events": {
+            label: tracer.dropped_events
+            for label, tracer in tracers.items()
+        },
+        "text": text,
+    }
 
 
 @dataclass

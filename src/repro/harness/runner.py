@@ -47,6 +47,7 @@ EXPERIMENTS = {
     "fig18": figures.figure18,
     "reliability": figures.reliability,
     "headline": figures.headline,
+    "trace": figures.trace,
 }
 
 #: Test/CI hooks: name an experiment in these variables to force it to
@@ -223,6 +224,13 @@ def _run_isolated(names, jobs, cache_dir, timeout,
             results[attempt.name] = payload
             timings[attempt.name] = elapsed
             return
+        if cache_dir is not None:
+            # A worker killed mid-export (crash or timeout) leaks its
+            # staged trace file; remove exactly the dead experiment's
+            # leftovers so healthy workers' staging files survive.
+            from repro.observe import cleanup_orphan_traces
+
+            cleanup_orphan_traces(cache_dir, experiment=attempt.name)
         if attempt.number == 1:
             # Retry once with a short backoff (transient failures:
             # OOM-killed workers, contended caches, flaky hangs).

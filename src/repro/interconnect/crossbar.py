@@ -76,6 +76,18 @@ class ReturnNetwork:
         self._reserved = [0] * lanes
         self.stats = CrossbarStats()
 
+    def install_observer(self, observer, prefix: str = "return_network") -> None:
+        """Expose this network's stats through an observer's registry."""
+        if observer is None or observer.metrics is None:
+            return
+        stats = self.stats
+        observer.metrics.add_provider(lambda: {
+            f"{prefix}.words_delivered": stats.words_delivered,
+            f"{prefix}.deferred_word_cycles": stats.deferred_word_cycles,
+            f"{prefix}.comm_cycles": stats.comm_cycles,
+            f"{prefix}.dropped_routes": stats.dropped_routes,
+        })
+
     def bank_has_space(self, bank: int) -> bool:
         """Whether bank ``bank`` may accept another cross-lane access.
 
@@ -171,6 +183,16 @@ class AddressNetwork:
         #: real network would after a dropped flit.
         self._fault_down = False
         self.stats = CrossbarStats()
+
+    def install_observer(self, observer, prefix: str = "address_network") -> None:
+        """Expose this network's stats through an observer's registry."""
+        if observer is None or observer.metrics is None:
+            return
+        stats = self.stats
+        observer.metrics.add_provider(lambda: {
+            f"{prefix}.words_delivered": stats.words_delivered,
+            f"{prefix}.dropped_routes": stats.dropped_routes,
+        })
 
     def set_fault_drop(self, down: bool) -> None:
         """Mark the network faulted (dropping all grants) or healthy."""

@@ -182,11 +182,25 @@ class KernelExecutor:
     """Drives one :class:`KernelInvocation` to completion on the SRF."""
 
     def __init__(self, config: MachineConfig, srf: StreamRegisterFile,
-                 invocation: KernelInvocation, schedule: StaticSchedule):
+                 invocation: KernelInvocation, schedule: StaticSchedule,
+                 observer=None):
         self.config = config
         self.srf = srf
         self.invocation = invocation
         self.schedule = schedule
+        # Observability (repro.observe); None when disabled.
+        self._stall_counter = None
+        if observer is not None and observer.metrics is not None:
+            metrics = observer.metrics
+            self._stall_counter = metrics.counter(
+                f"kernel.{invocation.name}.srf_stall_cycles"
+            )
+            # Static VLIW slot utilisation of the modulo schedule: ops
+            # issued per iteration over the ii * ALU slot capacity.
+            capacity = schedule.ii * config.alus_per_cluster
+            metrics.gauge(
+                f"kernel.{invocation.name}.slot_utilization"
+            ).set(len(invocation.kernel.ops) / capacity if capacity else 0.0)
         self._geometry = srf.geometry
         self._bind_streams()
         if invocation.on_start is not None:
@@ -393,6 +407,8 @@ class KernelExecutor:
                 break
         if stalled:
             self.stats.srf_stall_cycles += 1
+            if self._stall_counter is not None:
+                self._stall_counter.add()
         else:
             self._vt += 1
         return comm_busy

@@ -39,6 +39,8 @@ from repro.machine.program import StreamProgram
 from repro.machine.stats import FaultStats, ProgramStats
 from repro.memory.controller import MemoryController
 from repro.memory.mainmem import MainMemory
+from repro.observe.observer import Observer
+from repro.observe.observer import register as _register_observer
 
 #: Abort knob: a program making no forward progress for this many cycles
 #: is declared deadlocked (a bug in the program or the model). Used when
@@ -62,6 +64,27 @@ class StreamProcessor:
         #: each run's ``ProgramStats.faults``.
         self.fault_stats = FaultStats()
         self._install_faults(config)
+        self._install_observer(config)
+
+    def _install_observer(self, config: MachineConfig) -> None:
+        """Wire the configured observability bundle in (usually None).
+
+        Observation never changes simulated behaviour: every hook is a
+        read-only probe, and with the knobs at their defaults the
+        machine carries no observability state at all.
+        """
+        self.observer = Observer.from_config(config)
+        self._tracer = None
+        self._profiler = None
+        if self.observer is None:
+            return
+        _register_observer(self.observer)
+        self._tracer = self.observer.tracer
+        self._profiler = self.observer.profiler
+        self.srf.install_observer(self.observer)
+        self.srf.address_network.install_observer(self.observer)
+        self.srf.return_network.install_observer(self.observer)
+        self.controller.install_observer(self.observer)
 
     def _install_faults(self, config: MachineConfig) -> None:
         """Wire the configured fault plan into the components (if any)."""
@@ -144,6 +167,13 @@ class StreamProcessor:
         drop_snapshot = self.srf.address_network.stats.dropped_routes
         limit = self.deadlock_limit
         use_fast_forward = self.config.fast_forward
+        tracer = self._tracer
+        profiler = self._profiler
+        if tracer is not None:
+            tracer.begin(
+                "processor", f"program:{program.name}", self.cycle,
+                tasks=len(program.tasks),
+            )
 
         completed = set()
         running = None  # (task, executor, srf-stat snapshot)
@@ -178,8 +208,15 @@ class StreamProcessor:
                         if all(dep in completed for dep in task.deps):
                             schedule = self.schedule_kernel(task.work.kernel)
                             executor = KernelExecutor(
-                                self.config, self.srf, task.work, schedule
+                                self.config, self.srf, task.work, schedule,
+                                observer=self.observer,
                             )
+                            if tracer is not None:
+                                tracer.begin(
+                                    "processor", f"kernel:{task.work.name}",
+                                    self.cycle, ii=schedule.ii,
+                                    iterations=task.work.iterations,
+                                )
                             running = (task, executor, self._srf_snapshot())
                             del kernel_waiting[position]
                             progressed = True
@@ -199,10 +236,22 @@ class StreamProcessor:
                     if running is None:
                         if self.controller.busy:
                             stats.memory_stall_cycles += skip
+                            if profiler is not None:
+                                profiler.sample_window(
+                                    self.cycle, skip, "memory_stall"
+                                )
                         else:
                             stats.idle_cycles += skip
+                            if profiler is not None:
+                                profiler.sample_window(
+                                    self.cycle, skip, "idle"
+                                )
                     else:
                         running[1].fast_forward(skip)
+                        if profiler is not None:
+                            profiler.sample_window(
+                                self.cycle, skip, "kernel_startup"
+                            )
                     if progressed:
                         last_progress_cycle = self.cycle + 1
                     self.cycle += skip
@@ -214,6 +263,17 @@ class StreamProcessor:
                     continue
 
             # One machine cycle.
+            if profiler is not None:
+                if running is not None:
+                    profiler.sample(
+                        self.cycle,
+                        "kernel_startup"
+                        if running[1].startup_remaining > 0 else "kernel",
+                    )
+                elif self.controller.busy:
+                    profiler.sample(self.cycle, "memory_stall")
+                else:
+                    profiler.sample(self.cycle, "idle")
             self.controller.tick(self.cycle)
             comm_busy = False
             if running is not None:
@@ -231,6 +291,12 @@ class StreamProcessor:
                 task, executor, snapshot = running
                 self._finish_kernel(executor, snapshot)
                 stats.kernel_runs.append(executor.stats)
+                if tracer is not None:
+                    tracer.end(
+                        "processor", f"kernel:{task.work.name}",
+                        self.cycle + 1,
+                        srf_stall_cycles=executor.stats.srf_stall_cycles,
+                    )
                 completed.add(task.task_id)
                 remaining_count -= 1
                 running = None
@@ -267,6 +333,13 @@ class StreamProcessor:
             stats.faults.dropped_grants = (
                 self.srf.address_network.stats.dropped_routes - drop_snapshot
             )
+        if tracer is not None:
+            tracer.end(
+                "processor", f"program:{program.name}", self.cycle,
+                total_cycles=stats.total_cycles,
+            )
+        if self.observer is not None and self.observer.metrics is not None:
+            stats.metrics = self.observer.metrics.collect()
         return stats
 
     def _deadlock(self, program: StreamProgram, limit: int,

@@ -149,6 +149,10 @@ class ProgramStats:
     #: Fault-injection/protection counters for this run (all zero when
     #: fault injection is disabled).
     faults: FaultStats = field(default_factory=FaultStats)
+    #: Observability snapshot (repro.observe): metric name ->
+    #: ``{"kind": ..., "value"/...}``. Empty when ``metrics_level`` is 0,
+    #: so default-config stats stay bit-identical to the seed.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def kernel_loop_body_cycles(self) -> int:
@@ -180,3 +184,7 @@ class ProgramStats:
         self.offchip_words += other.offchip_words
         self.kernel_runs.extend(other.kernel_runs)
         self.faults.merge(other.faults)
+        if other.metrics:
+            # Registry snapshots are cumulative per machine, so the
+            # latest merged run carries the most complete view.
+            self.metrics = other.metrics

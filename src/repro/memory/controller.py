@@ -181,6 +181,38 @@ class MemoryController:
         # Fault injection (repro.faults); both None when disabled.
         self._dram_injector = None
         self._delay_schedule = None
+        # Observability (repro.observe); None when disabled.
+        self._tracer = None
+        self._ops_counter = None
+
+    # ------------------------------------------------------------------
+    # Observability (repro.observe)
+    # ------------------------------------------------------------------
+    def install_observer(self, observer) -> None:
+        """Attach an :class:`repro.observe.Observer`; None is a no-op.
+
+        Each stream memory op becomes an async trace span on the
+        ``memory`` track (async because transfers overlap), paired by
+        ``op_id``. The metrics registry sees the controller and DRAM
+        aggregates via providers and, at any level, a live counter of
+        issued ops used by the trace/metrics reconciliation tests.
+        """
+        if observer is None:
+            return
+        self._tracer = observer.tracer
+        self.dram.install_observer(observer)
+        if observer.metrics is not None:
+            observer.metrics.add_provider(self._metrics_provider)
+            self._ops_counter = observer.metrics.counter("memory.ops_issued")
+
+    def _metrics_provider(self) -> dict:
+        s = self.stats
+        return {
+            "memory.ops_completed": s.ops_completed,
+            "memory.offchip_words": s.offchip_words,
+            "memory.cache_hit_words": s.cache_hit_words,
+            "memory.busy_cycles": s.busy_cycles,
+        }
 
     # ------------------------------------------------------------------
     # Fault injection (repro.faults)
@@ -217,6 +249,14 @@ class MemoryController:
         active = _ActiveOp(op, self.srf, cycle, ready)
         self._active.append(active)
         self.srf.attach_port(active.port)
+        if self._tracer is not None:
+            self._tracer.async_begin(
+                "memory", op.describe(), cycle, event_id=op.op_id,
+                words=op.words, into_srf=op.into_srf,
+                cacheable=op.cacheable,
+            )
+        if self._ops_counter is not None:
+            self._ops_counter.add()
 
     def is_complete(self, op_id: int) -> bool:
         return op_id in self._completed
@@ -395,6 +435,11 @@ class MemoryController:
             self.srf.detach_port(active.port)
             self._completed[active.op.op_id] = cycle
             self.stats.ops_completed += 1
+            if self._tracer is not None:
+                self._tracer.async_end(
+                    "memory", active.op.describe(), cycle,
+                    event_id=active.op.op_id,
+                )
 
     # ------------------------------------------------------------------
     def inflight_report(self) -> list:

@@ -1,0 +1,80 @@
+"""Zero-overhead-when-disabled observability for the simulator.
+
+Three facilities, all off by default and all inert (no allocated state,
+single ``is not None`` guards on hot paths) unless a
+:class:`~repro.config.machine.MachineConfig` turns them on:
+
+* :class:`~repro.observe.events.Tracer` — structured begin/end, instant,
+  counter and async events with cycle timestamps, exported as Chrome
+  ``trace_event`` / Perfetto JSON (``config.trace``);
+* :class:`~repro.observe.metrics.MetricsRegistry` — hierarchical
+  counters, gauges and histograms folded into ``ProgramStats.metrics``
+  (``config.metrics_level``);
+* :class:`~repro.observe.profile.CycleProfiler` — sampling attribution
+  of simulated cycles to machine components
+  (``config.profile_sample_period``).
+"""
+
+from repro.observe.events import (
+    PHASE_ASYNC_BEGIN,
+    PHASE_ASYNC_END,
+    PHASE_BEGIN,
+    PHASE_COUNTER,
+    PHASE_END,
+    PHASE_INSTANT,
+    PHASES,
+    TraceEvent,
+    Tracer,
+)
+from repro.observe.export import (
+    STAGING_SUFFIX,
+    chrome_trace,
+    cleanup_orphan_traces,
+    staging_path,
+    validate_chrome_trace,
+    write_trace,
+)
+from repro.observe.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observe.observer import (
+    TRACE_ENV,
+    Collection,
+    Observer,
+    collect,
+    register,
+    trace_overrides_from_env,
+)
+from repro.observe.profile import CycleProfiler
+
+__all__ = [
+    "PHASES",
+    "PHASE_ASYNC_BEGIN",
+    "PHASE_ASYNC_END",
+    "PHASE_BEGIN",
+    "PHASE_COUNTER",
+    "PHASE_END",
+    "PHASE_INSTANT",
+    "STAGING_SUFFIX",
+    "TRACE_ENV",
+    "Collection",
+    "Counter",
+    "CycleProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "cleanup_orphan_traces",
+    "collect",
+    "register",
+    "staging_path",
+    "trace_overrides_from_env",
+    "validate_chrome_trace",
+    "write_trace",
+]

@@ -1,0 +1,159 @@
+"""Hierarchical metrics registry: counters, gauges, histograms.
+
+Metric names are dotted paths (``srf.bank3.blocked_heads``,
+``dram.row_hit_rate``); the dots give the hierarchy without imposing any
+object tree on the instrumented components. Two registration styles:
+
+* **live metrics** — :meth:`MetricsRegistry.counter` / ``gauge`` /
+  ``histogram`` return objects the hot path updates directly (guarded by
+  a single ``is not None`` check when observability is off);
+* **providers** — callables returning ``{name: value}`` evaluated only
+  at :meth:`MetricsRegistry.collect` time, for quantities the simulator
+  already tracks in its own stats objects (DRAM row locality, crossbar
+  traffic, SRF grant counts). Providers make those numbers visible at
+  zero added simulation cost.
+
+``metrics_level`` selects depth: level 1 installs only providers and
+per-run aggregates; level 2 adds per-bank / per-stream live metrics and
+occupancy histograms on the hot paths.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+#: Default histogram bucket upper bounds (values above the last bound
+#: land in the overflow bucket). Sized for FIFO/buffer depths.
+DEFAULT_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64)
+
+
+class Histogram:
+    """A fixed-bucket histogram of observed values."""
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "buckets", "count", "total")
+
+    def __init__(self, name: str, bounds=DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        if not self.bounds or list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(f"{name}: histogram bounds must be sorted/unique")
+        self.buckets = [0] * (len(self.bounds) + 1)  # +1 for overflow
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[position] += 1
+                break
+        else:
+            self.buckets[-1] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named metrics plus lazy providers."""
+
+    def __init__(self, level: int = 1):
+        if level < 1:
+            raise ValueError("metrics level must be >= 1 for a registry")
+        self.level = level
+        self._metrics = {}
+        self._providers = []
+
+    # ------------------------------------------------------------------
+    def _get(self, name: str, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, type(factory())):
+            raise ValueError(
+                f"metric {name!r} already registered with a different kind"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds=DEFAULT_BOUNDS) -> Histogram:
+        return self._get(name, lambda: Histogram(name, bounds))
+
+    def add_provider(self, provider) -> None:
+        """Register ``provider() -> {name: value}``, read at collect."""
+        self._providers.append(provider)
+
+    # ------------------------------------------------------------------
+    def collect(self) -> dict:
+        """Snapshot every metric and provider as plain JSON-able data.
+
+        Provider values are reported as gauges (they are reads of the
+        components' own cumulative stats). Later providers overwrite
+        earlier ones on a name collision; live metrics always win over
+        providers.
+        """
+        out = {}
+        for provider in self._providers:
+            for name, value in provider().items():
+                out[name] = {"kind": "gauge", "value": value}
+        for name, metric in self._metrics.items():
+            out[name] = metric.snapshot()
+        return out
+
+    def names(self) -> list:
+        return list(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics

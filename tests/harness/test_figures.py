@@ -96,3 +96,39 @@ class TestBenchmarkCache:
         second = figures.run_benchmark("Sort", cfg, "small")
         assert first is second
         figures.clear_cache()
+
+
+class TestTraceExperiment:
+    def test_trace_writes_valid_chrome_json(self, tmp_path):
+        import json
+
+        from repro import observe
+
+        path = tmp_path / "out.json"
+        figures.set_trace_path(str(path))
+        try:
+            result = figures.trace()
+        finally:
+            figures.set_trace_path(None)
+        assert result["trace_path"] == str(path)
+        assert result["events"] > 0
+        payload = json.loads(path.read_text())
+        counts = observe.validate_chrome_trace(payload)
+        assert counts["B"] > 0 and counts["B"] == counts["E"]
+        # Both machines appear as named processes, profiled cycle
+        # attribution rides along in the table rows.
+        labels = {row[0] for row in result["rows"]}
+        assert labels == {"Base", "ISRF4"}
+        assert all(row[1] > 0 for row in result["rows"])
+        assert not list(tmp_path.glob(f"*{observe.STAGING_SUFFIX}"))
+
+    def test_trace_path_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert figures.trace_output_path() == figures.DEFAULT_TRACE_PATH
+        monkeypatch.setenv("REPRO_TRACE", "path=env.json")
+        assert figures.trace_output_path() == "env.json"
+        figures.set_trace_path("cli.json")
+        try:
+            assert figures.trace_output_path() == "cli.json"
+        finally:
+            figures.set_trace_path(None)

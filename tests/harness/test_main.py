@@ -123,3 +123,16 @@ class TestNewOptions:
         # Second run: a cold in-memory cache is served from disk.
         figures.clear_cache()
         assert main(["fig11", "--cache-dir", str(cache_dir)]) == 0
+
+    def test_trace_path_requires_value(self, capsys):
+        assert main(["--trace-path"]) == 2
+        assert "requires a value" in capsys.readouterr().err
+
+    def test_trace_path_reaches_the_experiment(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "cli-trace.json"
+        assert main(["trace", "--no-cache", "--trace-path",
+                     str(path)]) == 0
+        assert str(path) in capsys.readouterr().out
+        assert json.loads(path.read_text())["traceEvents"]

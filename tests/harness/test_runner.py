@@ -23,7 +23,8 @@ class TestRegistry:
     def test_names_in_report_order(self):
         names = experiment_names()
         assert names[0] == "table3"
-        assert names[-1] == "headline"
+        assert names[-1] == "trace"
+        assert "headline" in names
         assert "fig11" in names and "fig18" in names
 
     def test_run_experiment_returns_result_dict(self):
@@ -103,6 +104,24 @@ class TestGracefulDegradation:
         monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "table3")
         with pytest.raises(ExperimentError, match="table3"):
             run_many(["table3", "area"], jobs=2, fail_fast=True)
+
+    def test_crashed_workers_staged_trace_is_swept(self, monkeypatch,
+                                                   tmp_path):
+        # A worker that dies mid-export leaves <out>.<exp>.trace.tmp in
+        # the cache dir; the runner must sweep exactly the failed
+        # experiment's leftovers and spare everyone else's.
+        from repro.observe import STAGING_SUFFIX
+
+        orphan = tmp_path / f"out.json.area{STAGING_SUFFIX}"
+        other = tmp_path / f"out.json.table3{STAGING_SUFFIX}"
+        orphan.write_text("partial")
+        other.write_text("partial")
+        monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "area")
+        results, _ = run_many(["table3", "area"], jobs=2,
+                              cache_dir=str(tmp_path))
+        assert failed(results["area"])
+        assert not orphan.exists()
+        assert other.exists()
 
     def test_failed_predicate(self):
         assert failed({"status": "failed", "error": "x", "attempts": 2})

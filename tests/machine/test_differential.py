@@ -1,0 +1,133 @@
+"""Differential testing: reference interpreter vs cycle-accurate machine.
+
+Every benchmark application already carries an independent reference
+implementation; its ``verified`` flag is the differential check. Here we
+force that comparison for *every app on every Table 2 preset* — not just
+the config under study — and extend the random-kernel differential
+harness of :mod:`tests.machine.test_random_kernels` across all four
+presets, so a timing bug that corrupts data on exactly one machine
+configuration cannot hide.
+"""
+
+import random as pyrandom
+
+import pytest
+
+from repro.config.presets import all_configs
+from repro.core import SrfArray
+from repro.kernel import KernelInterpreter
+from repro.kernel.contexts import ListContext
+from repro.machine import KernelInvocation, StreamProcessor, StreamProgram
+from repro.memory import load_op, store_op
+
+from tests.machine.test_random_kernels import (
+    LANES,
+    MOD,
+    TABLE_RECORDS,
+    build_random_kernel,
+)
+
+CONFIGS = all_configs()
+PRESETS = list(CONFIGS)
+
+
+@pytest.fixture(params=PRESETS)
+def config(request):
+    return CONFIGS[request.param]
+
+
+class TestAppsVerifyOnEveryPreset:
+    """Each app's machine output must equal its reference on all presets.
+
+    Workload sizes are the smallest that exercise multiple strips /
+    software-pipeline stages; ``require_verified`` raises on the first
+    divergence.
+    """
+
+    def test_fft(self, config):
+        from repro.apps import fft
+        fft.run(config, n=16).require_verified()
+
+    def test_rijndael(self, config):
+        from repro.apps import rijndael
+        rijndael.run(config, blocks_per_lane=2).require_verified()
+
+    def test_sort(self, config):
+        from repro.apps import sort
+        sort.run(config, n=256).require_verified()
+
+    def test_filter2d(self, config):
+        from repro.apps import filter2d
+        filter2d.run(config, height=16, width=32).require_verified()
+
+    @pytest.mark.parametrize("dataset", ["IG_SML", "IG_DCS"])
+    def test_igraph(self, config, dataset):
+        from repro.apps import igraph
+        igraph.run(config, dataset=dataset, nodes=128,
+                   strips_to_run=2).require_verified()
+
+
+def run_differential(config, seed, ops_count, use_carry, lookups):
+    """One random kernel through the interpreter and the machine."""
+    kernel, in_s, lut, out = build_random_kernel(
+        seed, ops_count, use_carry, lookups
+    )
+    rng = pyrandom.Random(seed + 1)
+    iterations = 8
+    table = [rng.randrange(MOD) for _ in range(TABLE_RECORDS)]
+    inputs = [[rng.randrange(MOD) for _ in range(iterations)]
+              for _ in range(LANES)]
+
+    ctx = ListContext(LANES)
+    ctx.bind_input(in_s, inputs)
+    if lut is not None:
+        ctx.bind_table(lut, [list(table)] * LANES)
+    KernelInterpreter(kernel, LANES, ctx).run(iterations)
+    expected = ctx.output("out")
+
+    proc = StreamProcessor(config)
+    n = iterations * LANES
+    in_arr = SrfArray(proc.srf, n, "in")
+    out_arr = SrfArray(proc.srf, n, "out")
+    src = proc.memory.allocate(n, "src")
+    dst = proc.memory.allocate(n, "dst")
+    proc.memory.load_region(src, in_arr.stream_image_per_lane(inputs))
+    bindings = {"in": in_arr.seq_read(), "out": out_arr.seq_write()}
+    if lut is not None:
+        lut_arr = SrfArray(proc.srf, TABLE_RECORDS * LANES, "lut")
+        lut_arr.fill_replicated(table)
+        bindings["lut"] = lut_arr.inlane_read(TABLE_RECORDS)
+    prog = StreamProgram("rand")
+    t_load = prog.add_memory(load_op(in_arr.seq_read(), src))
+    t_k = prog.add_kernel(
+        KernelInvocation(kernel, bindings, iterations=iterations),
+        deps=[t_load],
+    )
+    prog.add_memory(store_op(out_arr.seq_write(name="st"), dst),
+                    deps=[t_k])
+    proc.run_program(prog)
+    got = out_arr.per_lane_from_stream_image(
+        proc.memory.dump_region(dst), iterations
+    )
+    assert got == expected
+
+
+class TestRandomKernelsOnEveryPreset:
+    """Seeded random kernels differentially tested per preset.
+
+    Indexed lookups only run on the machines whose SRF supports them;
+    sequential-only presets exercise the same kernels without the table.
+    """
+
+    @pytest.mark.parametrize("seed", [3, 17, 42, 1001])
+    @pytest.mark.parametrize("use_carry", [False, True])
+    def test_sequential_kernels(self, config, seed, use_carry):
+        run_differential(config, seed, ops_count=8, use_carry=use_carry,
+                         lookups=0)
+
+    @pytest.mark.parametrize("seed", [5, 23, 77])
+    def test_indexed_kernels(self, config, seed):
+        if not config.supports_indexing:
+            pytest.skip("sequential-only SRF has no indexed streams")
+        run_differential(config, seed, ops_count=6, use_carry=True,
+                         lookups=2)

@@ -1,0 +1,99 @@
+"""Golden-stats regression test: tier-1 timing pinned per preset.
+
+``golden_stats.json`` snapshots the FFT 2D (n=16) ``ProgramStats`` for
+all four Table 2 presets. Any change to cycle-level behaviour —
+intentional or not — shows up as a diff against the fixture. It doubles
+as the enforcement of the observability layer's zero-overhead contract:
+running with tracing, metrics, and the profiler all enabled must
+reproduce the fixture bit-for-bit.
+
+Regenerate deliberately after an intentional timing change:
+
+    PYTHONPATH=src:. python tests/machine/test_golden_stats.py
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.apps import fft
+from repro.config.presets import all_configs
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_stats.json")
+
+FFT_N = 16
+
+
+def fingerprint(stats) -> dict:
+    """The timing-relevant slice of ProgramStats, JSON-stable."""
+    return {
+        "total_cycles": stats.total_cycles,
+        "memory_stall_cycles": stats.memory_stall_cycles,
+        "idle_cycles": stats.idle_cycles,
+        "offchip_words": stats.offchip_words,
+        "kernel_runs": [
+            {
+                "kernel_name": run.kernel_name,
+                "ii": run.ii,
+                "depth": run.depth,
+                "iterations": run.iterations,
+                "useful_iterations": run.useful_iterations,
+                "total_cycles": run.total_cycles,
+                "srf_stall_cycles": run.srf_stall_cycles,
+                "startup_cycles": run.startup_cycles,
+                "sequential_words": run.sequential_words,
+                "inlane_words": run.inlane_words,
+                "crosslane_words": run.crosslane_words,
+                "indexed_write_words": run.indexed_write_words,
+                "lanes": run.lanes,
+            }
+            for run in stats.kernel_runs
+        ],
+    }
+
+
+def capture(**overrides) -> dict:
+    out = {}
+    for name, config in all_configs().items():
+        if overrides:
+            config = config.replace(**overrides)
+        result = fft.run(config, n=FFT_N).require_verified()
+        out[name] = fingerprint(result.stats)
+    return out
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("preset", ["Base", "ISRF1", "ISRF4", "Cache"])
+class TestGoldenStats:
+    def test_matches_fixture(self, golden, preset):
+        config = all_configs()[preset]
+        result = fft.run(config, n=FFT_N).require_verified()
+        assert fingerprint(result.stats) == golden[preset]
+
+    def test_observability_is_inert(self, golden, preset):
+        """Trace + metrics + profiler on must not move a single cycle."""
+        config = all_configs()[preset].replace(
+            trace=True, metrics_level=2, profile_sample_period=64,
+        )
+        result = fft.run(config, n=FFT_N).require_verified()
+        assert fingerprint(result.stats) == golden[preset]
+
+
+def test_fast_forward_off_matches_fixture(golden):
+    """The cycle-loop fast path must be an exact shortcut (spot check)."""
+    config = all_configs()["ISRF4"].replace(fast_forward=False)
+    result = fft.run(config, n=FFT_N).require_verified()
+    assert fingerprint(result.stats) == golden["ISRF4"]
+
+
+if __name__ == "__main__":
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(capture(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"regenerated {GOLDEN_PATH}")

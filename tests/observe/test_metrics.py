@@ -1,0 +1,72 @@
+"""The hierarchical metrics registry: kinds, providers, collection."""
+
+import pytest
+
+from repro.observe import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestKinds:
+    def test_counter_accumulates(self):
+        counter = Counter("srf.grants")
+        counter.add()
+        counter.add(4)
+        assert counter.snapshot() == {"kind": "counter", "value": 5}
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("dram.row_hit_rate")
+        gauge.set(0.25)
+        gauge.set(0.75)
+        assert gauge.snapshot() == {"kind": "gauge", "value": 0.75}
+
+    def test_histogram_buckets_and_overflow(self):
+        hist = Histogram("depth", bounds=(0, 2, 4))
+        for value in (0, 1, 2, 3, 4, 99):
+            hist.record(value)
+        snap = hist.snapshot()
+        assert snap["buckets"] == [1, 2, 2, 1]  # <=0, <=2, <=4, overflow
+        assert snap["count"] == 6
+        assert snap["mean"] == pytest.approx(109 / 6)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(4, 2))
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("srf.grants")
+        assert registry.counter("srf.grants") is first
+        assert "srf.grants" in registry
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="different kind"):
+            registry.gauge("x")
+
+    def test_level_zero_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(level=0)
+
+    def test_collect_snapshots_metrics_and_providers(self):
+        registry = MetricsRegistry(level=2)
+        registry.counter("live").add(3)
+        registry.add_provider(lambda: {"lazy": 1.5})
+        out = registry.collect()
+        assert out["live"] == {"kind": "counter", "value": 3}
+        assert out["lazy"] == {"kind": "gauge", "value": 1.5}
+
+    def test_live_metric_wins_over_provider_on_collision(self):
+        registry = MetricsRegistry()
+        registry.counter("name").add(9)
+        registry.add_provider(lambda: {"name": -1})
+        assert registry.collect()["name"]["value"] == 9
+
+    def test_providers_are_lazy(self):
+        registry = MetricsRegistry()
+        reads = []
+        registry.add_provider(lambda: reads.append(1) or {"n": len(reads)})
+        assert reads == []
+        assert registry.collect()["n"]["value"] == 1
+        assert registry.collect()["n"]["value"] == 2

@@ -1,0 +1,72 @@
+"""The structured event tracer: ring buffer, counts, phases."""
+
+import pytest
+
+from repro.observe import (
+    PHASE_ASYNC_BEGIN,
+    PHASE_ASYNC_END,
+    PHASE_BEGIN,
+    PHASE_COUNTER,
+    PHASE_END,
+    PHASE_INSTANT,
+    Tracer,
+)
+
+
+class TestEmission:
+    def test_span_events_carry_phase_and_cycle(self):
+        tracer = Tracer(16)
+        tracer.begin("srf", "fill", 3, words=32)
+        tracer.end("srf", "fill", 7)
+        events = tracer.events
+        assert [e.phase for e in events] == [PHASE_BEGIN, PHASE_END]
+        assert [e.cycle for e in events] == [3, 7]
+        assert events[0].args == {"words": 32}
+        assert events[1].args is None
+
+    def test_instant_and_counter(self):
+        tracer = Tracer(16)
+        tracer.instant("srf", "open:in", 0, length_words=64)
+        tracer.counter("srf", "occupancy", 5, {"words": 12})
+        assert tracer.events[0].phase == PHASE_INSTANT
+        assert tracer.events[1].phase == PHASE_COUNTER
+        assert tracer.events[1].args == {"words": 12}
+
+    def test_async_events_pair_by_id(self):
+        tracer = Tracer(16)
+        tracer.async_begin("memory", "load", 0, event_id=7)
+        tracer.async_begin("memory", "store", 2, event_id=8)
+        tracer.async_end("memory", "load", 9, event_id=7)
+        phases = [e.phase for e in tracer.events]
+        assert phases == [PHASE_ASYNC_BEGIN, PHASE_ASYNC_BEGIN,
+                          PHASE_ASYNC_END]
+        assert [e.event_id for e in tracer.events] == [7, 8, 7]
+
+    def test_components_in_first_emission_order(self):
+        tracer = Tracer(16)
+        tracer.instant("memory", "a", 0)
+        tracer.instant("srf", "b", 0)
+        tracer.instant("memory", "c", 1)
+        assert tracer.components() == ["memory", "srf"]
+
+
+class TestRingBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(0)
+
+    def test_oldest_events_drop_when_full(self):
+        tracer = Tracer(3)
+        for cycle in range(5):
+            tracer.instant("srf", f"e{cycle}", cycle)
+        assert len(tracer) == 3
+        assert tracer.dropped_events == 2
+        assert [e.name for e in tracer.events] == ["e2", "e3", "e4"]
+
+    def test_counts_include_dropped_events(self):
+        tracer = Tracer(2)
+        for cycle in range(6):
+            tracer.instant("srf", "e", cycle)
+        assert tracer.count("srf", PHASE_INSTANT) == 6
+        assert tracer.count("srf", PHASE_BEGIN) == 0
+        assert tracer.count("memory", PHASE_INSTANT) == 0
