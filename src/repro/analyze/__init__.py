@@ -1,0 +1,57 @@
+"""Static analysis & sanitizer for stream programs and kernel IR.
+
+Three coordinated passes (see DESIGN.md, "Static analysis & machine
+sanitizer"):
+
+* :func:`verify_kernel` — structural validation of one kernel's
+  dataflow graph (SSA discipline, arity, carry and stream usage,
+  liveness), every finding a :class:`Diagnostic`;
+* :func:`analyze_program` — whole-program checks over a
+  :class:`~repro.machine.program.StreamProgram` bound to a machine
+  configuration: binding discipline, interval/affine bounds proofs for
+  indexed SRF accesses, sequential stream extents, task-graph hazard
+  and race detection, and static bank-pressure estimates;
+* :class:`MachineSanitizer` — the ``MachineConfig.sanitize`` debug mode
+  asserting cycle-level machine invariants while a program runs.
+
+The command line ``python -m repro.analyze`` (and the harness ``check``
+experiment) runs the static passes over every shipped benchmark ×
+machine preset; zero error-level findings there is an enforced
+invariant of the analyzer.
+"""
+
+from repro.analyze.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    error,
+    info,
+    warning,
+)
+from repro.analyze.intervals import (
+    AffineForm,
+    IndexEvaluator,
+    IndexValue,
+    Interval,
+)
+from repro.analyze.program import analyze_program, footprint
+from repro.analyze.sanitize import MachineSanitizer, SanitizerReport
+from repro.analyze.verifier import verify_kernel
+
+__all__ = [
+    "AffineForm",
+    "AnalysisReport",
+    "Diagnostic",
+    "IndexEvaluator",
+    "IndexValue",
+    "Interval",
+    "MachineSanitizer",
+    "SanitizerReport",
+    "Severity",
+    "analyze_program",
+    "error",
+    "footprint",
+    "info",
+    "verify_kernel",
+    "warning",
+]

@@ -1,0 +1,114 @@
+"""Diagnostic model shared by every static-analysis pass.
+
+A :class:`Diagnostic` is one finding with a stable machine-readable
+``code`` (the mutation-corpus tests key on codes, not message text), a
+severity, and provenance naming the kernel/op/stream/task it anchors to.
+Passes return lists of diagnostics; :class:`AnalysisReport` aggregates
+them per subject with severity roll-ups and an ``ok`` verdict that
+callers (the ``check`` experiment, the CLI, CI) gate on.
+
+Severity semantics:
+
+* ``ERROR`` — the program/kernel is provably wrong (would crash or
+  corrupt data at run time). Zero errors over all shipped apps × presets
+  is an enforced invariant of the analyzer (no false positives).
+* ``WARNING`` — suspicious but not provably wrong (e.g. unordered
+  overlapping kernel accesses that the single microcontroller happens to
+  serialise).
+* ``INFO`` — facts the analysis could not decide (cannot-prove bounds)
+  or advisory estimates (bank pressure).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad one finding is."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis pass."""
+
+    severity: Severity
+    #: Stable machine-readable code, e.g. ``"index-out-of-bounds"``.
+    code: str
+    message: str
+    #: Provenance (any may be empty when not applicable).
+    kernel: str = ""
+    op: str = ""
+    stream: str = ""
+    task: str = ""
+
+    def describe(self) -> str:
+        where = ":".join(
+            part for part in (self.kernel or self.task, self.op, self.stream)
+            if part
+        )
+        prefix = f"{where}: " if where else ""
+        return f"[{self.severity.value}] {self.code}: {prefix}{self.message}"
+
+
+def error(code: str, message: str, **provenance: str) -> Diagnostic:
+    return Diagnostic(Severity.ERROR, code, message, **provenance)
+
+
+def warning(code: str, message: str, **provenance: str) -> Diagnostic:
+    return Diagnostic(Severity.WARNING, code, message, **provenance)
+
+
+def info(code: str, message: str, **provenance: str) -> Diagnostic:
+    return Diagnostic(Severity.INFO, code, message, **provenance)
+
+
+@dataclass
+class AnalysisReport:
+    """All diagnostics for one analyzed subject (kernel or program)."""
+
+    subject: str
+    diagnostics: list = field(default_factory=list)
+
+    def extend(self, diagnostics) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def by_severity(self, severity: Severity) -> list:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-level diagnostic was found."""
+        return not self.errors
+
+    def codes(self) -> set:
+        return {d.code for d in self.diagnostics}
+
+    def describe(self) -> str:
+        lines = [
+            f"analysis of {self.subject}: "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.by_severity(Severity.INFO))} note(s)"
+        ]
+        ordered = sorted(
+            self.diagnostics, key=lambda d: (-d.severity.rank, d.code)
+        )
+        lines.extend(f"  {d.describe()}" for d in ordered)
+        return "\n".join(lines)

@@ -1,0 +1,332 @@
+"""Abstract domains for the index analysis: intervals and affine forms.
+
+The stream-program analyzer wants to prove, per indexed SRF access,
+that every record index a kernel can compute lies inside the bound
+stream. Two abstract values cooperate:
+
+* :class:`Interval` — a sound over-approximation ``[lo, hi]`` (``None``
+  meaning unbounded). An interval containing out-of-bounds points
+  proves nothing by itself — the hull may be loose — so it can only
+  power "proven in bounds" and "cannot prove" verdicts.
+* :class:`AffineForm` — an *exact* value ``c0 + c_iter*iter +
+  c_lane*lane`` over the iteration counter and the lane id. Exactness
+  is what upgrades a violation to "provably out of bounds": affine maps
+  attain their extremes at corners of the (iter, lane) box, and on the
+  lock-stepped machine every corner is actually executed.
+
+Soundness rests on the ``Op.algebra`` tags: only the
+:class:`~repro.kernel.builder.KernelBuilder` helpers whose payload
+semantics are known set them, so an untagged payload (a raw lambda)
+evaluates to TOP instead of a guess. Loop-carried counters enter
+through induction detection: a carry whose update is ``carry + k``
+with constant ``k`` is exactly ``init + k*iter``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.ir import Kernel
+from repro.kernel.ops import OpKind
+
+_INF = float("inf")
+
+
+def _lo(value) -> float:
+    return -_INF if value is None else value
+
+
+def _hi(value) -> float:
+    return _INF if value is None else value
+
+
+def _bound(value) -> "int | float | None":
+    return None if value in (_INF, -_INF) else value
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval; ``None`` endpoints mean unbounded."""
+
+    lo: "int | float | None"
+    hi: "int | float | None"
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(None, None)
+
+    @staticmethod
+    def const(value) -> "Interval":
+        return Interval(value, value)
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+    def within(self, lo, hi) -> bool:
+        """True when every point of self lies in ``[lo, hi]``."""
+        return (self.lo is not None and self.hi is not None
+                and self.lo >= lo and self.hi <= hi)
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(
+            _bound(min(_lo(self.lo), _lo(other.lo))),
+            _bound(max(_hi(self.hi), _hi(other.hi))),
+        )
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(
+            _bound(_lo(self.lo) + _lo(other.lo)),
+            _bound(_hi(self.hi) + _hi(other.hi)),
+        )
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(
+            _bound(_lo(self.lo) - _hi(other.hi)),
+            _bound(_hi(self.hi) - _lo(other.lo)),
+        )
+
+    def mul(self, other: "Interval") -> "Interval":
+        candidates = []
+        for a in (_lo(self.lo), _hi(self.hi)):
+            for b in (_lo(other.lo), _hi(other.hi)):
+                if 0 in (a, b):
+                    candidates.append(0)  # avoid inf * 0
+                else:
+                    candidates.append(a * b)
+        return Interval(_bound(min(candidates)), _bound(max(candidates)))
+
+    def mod(self, divisor: "Interval") -> "Interval":
+        """Python ``%`` with a known positive constant divisor."""
+        if divisor.lo == divisor.hi and divisor.lo and divisor.lo > 0:
+            b = divisor.lo
+            if self.within(0, b - 1):
+                return self  # mod is the identity here
+            return Interval(0, b - 1)
+        return Interval.top()
+
+    def xor(self, other: "Interval") -> "Interval":
+        """XOR of non-negative values below 2**k stays below 2**k."""
+        if (self.is_bounded and other.is_bounded
+                and _lo(self.lo) >= 0 and _lo(other.lo) >= 0):
+            limit = 1
+            while limit <= max(self.hi, other.hi):
+                limit <<= 1
+            return Interval(0, limit - 1)
+        return Interval.top()
+
+    def describe(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+@dataclass(frozen=True)
+class AffineForm:
+    """Exactly ``const + c_iter * iter + c_lane * lane``."""
+
+    const: float
+    c_iter: float = 0
+    c_lane: float = 0
+
+    def add(self, other: "AffineForm") -> "AffineForm":
+        return AffineForm(self.const + other.const,
+                          self.c_iter + other.c_iter,
+                          self.c_lane + other.c_lane)
+
+    def sub(self, other: "AffineForm") -> "AffineForm":
+        return AffineForm(self.const - other.const,
+                          self.c_iter - other.c_iter,
+                          self.c_lane - other.c_lane)
+
+    def scale(self, factor) -> "AffineForm":
+        return AffineForm(self.const * factor, self.c_iter * factor,
+                          self.c_lane * factor)
+
+    @property
+    def is_const(self) -> bool:
+        return self.c_iter == 0 and self.c_lane == 0
+
+    def to_interval(self, iterations: int, lanes: int) -> Interval:
+        """Tight hull over ``iter in [0, iterations)``, ``lane in
+        [0, lanes)`` — attained at corners, hence exact."""
+        lo = hi = self.const
+        for coeff, extent in ((self.c_iter, iterations),
+                              (self.c_lane, lanes)):
+            span = coeff * max(0, extent - 1)
+            lo += min(0, span)
+            hi += max(0, span)
+        return Interval(lo, hi)
+
+    def describe(self) -> str:
+        parts = [str(self.const)]
+        if self.c_iter:
+            parts.append(f"{self.c_iter}*iter")
+        if self.c_lane:
+            parts.append(f"{self.c_lane}*lane")
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class IndexValue:
+    """Abstract value of one op: a hull, plus an affine form when exact."""
+
+    interval: Interval
+    affine: "AffineForm | None" = None
+
+    @property
+    def is_exact(self) -> bool:
+        return self.affine is not None
+
+    def describe(self) -> str:
+        if self.affine is not None:
+            return self.affine.describe()
+        return self.interval.describe()
+
+
+_TOP = IndexValue(Interval.top())
+
+
+class IndexEvaluator:
+    """Abstract interpretation of one kernel invocation's index graph.
+
+    Evaluates every op of ``kernel`` over the domain above for a trip
+    count of ``iterations`` on ``lanes`` lanes; results are queried per
+    op via :meth:`value_of`. Data-dependent sources (stream reads,
+    inter-cluster receives, untagged payloads) evaluate to TOP.
+    """
+
+    def __init__(self, kernel: Kernel, iterations: int, lanes: int):
+        self.kernel = kernel
+        self.iterations = max(0, iterations)
+        self.lanes = max(1, lanes)
+        self._carry_values = self._solve_carries()
+        self._values = {}
+        for op in kernel.ops:
+            self._values[op.op_id] = self._eval(op)
+
+    def value_of(self, op) -> IndexValue:
+        return self._values.get(op.op_id, _TOP)
+
+    # ------------------------------------------------------------------
+    def _affine(self, value: AffineForm) -> IndexValue:
+        return IndexValue(
+            value.to_interval(self.iterations, self.lanes), value
+        )
+
+    def _solve_carries(self) -> dict:
+        """Map carry object id -> IndexValue via induction detection.
+
+        A carry updated as ``carry + k`` (k constant) is the affine
+        counter ``init + k*iter``. A carry updated to a constant ``c``
+        holds ``init`` on iteration 0 and ``c`` after — the hull of
+        both. Anything else is TOP.
+        """
+        resolved = {}
+        for carry in self.kernel.carries:
+            resolved[id(carry)] = _TOP
+            if not isinstance(carry.init_value, (int, float)):
+                continue
+            update = carry.update_op
+            if update is None:
+                continue
+            delta = self._induction_delta(update, carry)
+            if delta is not None:
+                resolved[id(carry)] = self._affine(
+                    AffineForm(carry.init_value, c_iter=delta)
+                )
+                continue
+            const = self._constant_of(update)
+            if const is not None:
+                hull = Interval.const(carry.init_value).join(
+                    Interval.const(const)
+                )
+                affine = (
+                    AffineForm(const) if const == carry.init_value else None
+                )
+                resolved[id(carry)] = IndexValue(hull, affine)
+        return resolved
+
+    def _induction_delta(self, update, carry):
+        """``k`` when ``update`` computes ``carry + k``; else None."""
+        if update.kind is OpKind.CARRY and update.carry is carry:
+            return 0
+        if update.algebra not in ("add", "sub") or len(update.operands) != 2:
+            return None
+        a, b = update.operands
+        if a.kind is OpKind.CARRY and a.carry is carry:
+            step = self._constant_of(b)
+            if step is None:
+                return None
+            return step if update.algebra == "add" else -step
+        if (update.algebra == "add" and b.kind is OpKind.CARRY
+                and b.carry is carry):
+            return self._constant_of(a)
+        return None
+
+    @staticmethod
+    def _constant_of(op):
+        if op.kind is OpKind.CONST and isinstance(op.value, (int, float)):
+            return op.value
+        return None
+
+    # ------------------------------------------------------------------
+    def _eval(self, op) -> IndexValue:
+        kind = op.kind
+        if kind is OpKind.CONST:
+            if isinstance(op.value, (int, float)):
+                return self._affine(AffineForm(op.value))
+            return _TOP
+        if kind is OpKind.LANEID:
+            return self._affine(AffineForm(0, c_lane=1))
+        if kind is OpKind.CARRY:
+            if op.carry is None:
+                return _TOP
+            return self._carry_values.get(id(op.carry), _TOP)
+        if kind is OpKind.IDX_DATA and op.operands:
+            # Data pops forward nothing about the value; TOP. (The
+            # *address* interval lives on the issue op.)
+            return _TOP
+        if kind in (OpKind.ARITH, OpKind.LOGIC, OpKind.MUL):
+            return self._eval_algebra(op)
+        return _TOP  # DIV, SEQ_READ, COMM, stream ops: data-dependent
+
+    def _eval_algebra(self, op) -> IndexValue:
+        operands = [self.value_of(o) for o in op.operands]
+        algebra = op.algebra
+        if algebra in ("add", "sub") and len(operands) == 2:
+            a, b = operands
+            affine = None
+            if a.affine is not None and b.affine is not None:
+                affine = (a.affine.add(b.affine) if algebra == "add"
+                          else a.affine.sub(b.affine))
+            interval = (a.interval.add(b.interval) if algebra == "add"
+                        else a.interval.sub(b.interval))
+            return IndexValue(interval, affine)
+        if algebra == "mul" and len(operands) == 2:
+            a, b = operands
+            affine = None
+            if a.affine is not None and b.affine is not None:
+                if b.affine.is_const:
+                    affine = a.affine.scale(b.affine.const)
+                elif a.affine.is_const:
+                    affine = b.affine.scale(a.affine.const)
+            return IndexValue(a.interval.mul(b.interval), affine)
+        if algebra == "mod" and len(operands) == 2:
+            a, b = operands
+            interval = a.interval.mod(b.interval)
+            # Identity mod keeps exactness (hull already within range).
+            affine = a.affine if interval is a.interval else None
+            return IndexValue(interval, affine)
+        if algebra == "xor" and len(operands) == 2:
+            a, b = operands
+            return IndexValue(a.interval.xor(b.interval))
+        if algebra == "select" and len(operands) == 3:
+            _cond, if_true, if_false = operands
+            affine = None
+            if if_true.affine is not None and if_true.affine == if_false.affine:
+                affine = if_true.affine
+            return IndexValue(
+                if_true.interval.join(if_false.interval), affine
+            )
+        return _TOP

@@ -1,0 +1,263 @@
+"""Cycle-level machine-state sanitizer (``MachineConfig.sanitize``).
+
+The static passes prove what they can before a single cycle runs; this
+module guards the rest *while* cycles run. With ``sanitize=True`` the
+processor attaches a :class:`MachineSanitizer` to its SRF and calls
+:meth:`MachineSanitizer.check` once per simulated cycle, after the SRF
+tick. Every check is a read-only probe of existing state — the
+sanitizer allocates nothing on the machine, mutates nothing, and a
+machine built without it carries no sanitizer state at all, so stats
+fingerprints are bit-identical either way (the same inertness contract
+as the trace and fault layers).
+
+Checked invariants, mirroring the machine's conservation laws:
+
+* **allocator** — allocations are disjoint, ordered, block-aligned and
+  inside the SRF;
+* **sequential ports** — block progress within bounds, in-flight word
+  credit non-negative, per-lane stream-buffer occupancy uniform (SIMD
+  lockstep) and within capacity, and reads never over-commit buffer
+  space (occupancy + in-flight ≤ capacity);
+* **indexed streams** — the O(1) ``pending_words`` counter equals the
+  words actually queued across lane FIFOs, write credits are
+  non-negative, each address FIFO's head cache matches a recomputation,
+  and reorder buffers conserve tickets (slots == issued − retired,
+  unfilled slots == live ticket map);
+* **crossbars** — address-network port budgets within configured
+  bounds, return-network queues plus reservations within queue depth;
+* **completion pipeline** — no in-flight completion is overdue after
+  the cycle's completions drained.
+
+On the first violated invariant a :class:`~repro.errors.SanitizerError`
+carrying a :class:`SanitizerReport` (every violation found that cycle,
+not just the first) aborts the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.address_fifo import _STALE
+from repro.errors import SanitizerError
+
+
+@dataclass
+class SanitizerReport:
+    """Forensics attached to a :class:`~repro.errors.SanitizerError`."""
+
+    cycle: int
+    violations: list = field(default_factory=list)  # of str
+
+    def describe(self) -> str:
+        lines = [
+            f"sanitizer: {len(self.violations)} invariant violation(s) "
+            f"at cycle {self.cycle}:"
+        ]
+        lines.extend(f"  {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+class MachineSanitizer:
+    """Per-cycle invariant checker over one machine's SRF complex."""
+
+    def __init__(self, srf):
+        self.srf = srf
+        self.checks_run = 0
+
+    # ------------------------------------------------------------------
+    def check(self, cycle: int) -> None:
+        """Assert every invariant; raises SanitizerError on violation."""
+        self.checks_run += 1
+        violations = list(self._scan(cycle))
+        if violations:
+            report = SanitizerReport(cycle=cycle, violations=violations)
+            raise SanitizerError(
+                "machine invariant violated", report=report
+            )
+
+    def _scan(self, cycle: int):
+        yield from self._check_allocator()
+        yield from self._check_sequential_ports()
+        yield from self._check_indexed_streams()
+        yield from self._check_networks()
+        yield from self._check_pipeline(cycle)
+
+    # ------------------------------------------------------------------
+    def _check_allocator(self):
+        geometry = self.srf.geometry
+        block = geometry.block_words
+        cursor = 0
+        for region in self.srf.allocator._regions:
+            if region.base % block or region.words % block:
+                yield (
+                    f"allocation '{region.name}' [{region.base}, "
+                    f"{region.base + region.words}) is not block-aligned"
+                )
+            if region.base < cursor:
+                yield (
+                    f"allocation '{region.name}' at {region.base} overlaps "
+                    f"or reorders against the previous region end {cursor}"
+                )
+            cursor = max(cursor, region.base + region.words)
+        if cursor > geometry.total_words:
+            yield (
+                f"allocations extend to word {cursor} beyond the "
+                f"{geometry.total_words}-word SRF"
+            )
+
+    def _check_sequential_ports(self):
+        for port in self.srf._seq_ports:
+            fifo = getattr(port, "fifo", None)
+            if fifo is None:
+                continue  # duck-typed memory-system port; no buffer here
+            name = port.descriptor.name
+            if not 0 <= port._blocks_done <= port.total_blocks:
+                yield (
+                    f"sequential port '{name}': {port._blocks_done} blocks "
+                    f"done outside [0, {port.total_blocks}]"
+                )
+            if port._inflight_words < 0:
+                yield (
+                    f"sequential port '{name}': negative in-flight word "
+                    f"credit ({port._inflight_words})"
+                )
+            depths = {len(lane) for lane in fifo._fifos}
+            if len(depths) > 1:
+                yield (
+                    f"sequential port '{name}': stream-buffer occupancy "
+                    f"not uniform across lanes ({sorted(depths)}) — SIMD "
+                    "lockstep broken"
+                )
+            occupancy = fifo.occupancy
+            if occupancy > fifo.capacity:
+                yield (
+                    f"sequential port '{name}': buffer occupancy "
+                    f"{occupancy} exceeds capacity {fifo.capacity}"
+                )
+            if (port.direction.value == "read"
+                    and occupancy + port._inflight_words > fifo.capacity):
+                yield (
+                    f"sequential port '{name}': occupancy {occupancy} + "
+                    f"in-flight {port._inflight_words} over-commits the "
+                    f"{fifo.capacity}-word buffer"
+                )
+
+    def _check_indexed_streams(self):
+        for stream in self.srf._indexed_list:
+            name = stream.descriptor.name
+            queued = 0
+            for fifo in stream.fifos:
+                entries = fifo._entries
+                words = sum(len(entry.words) for entry in entries)
+                words -= fifo._head_word
+                queued += words
+                if fifo.occupancy > fifo.capacity:
+                    yield (
+                        f"indexed stream '{name}' lane {fifo.lane}: "
+                        f"{fifo.occupancy} FIFO entries exceed capacity "
+                        f"{fifo.capacity}"
+                    )
+                if entries:
+                    if not 0 <= fifo._head_word < len(entries[0].words):
+                        yield (
+                            f"indexed stream '{name}' lane {fifo.lane}: "
+                            f"head-word counter {fifo._head_word} outside "
+                            f"the {len(entries[0].words)}-word head record"
+                        )
+                elif fifo._head_word:
+                    yield (
+                        f"indexed stream '{name}' lane {fifo.lane}: "
+                        f"head-word counter {fifo._head_word} with an "
+                        "empty FIFO"
+                    )
+                yield from self._check_head_cache(name, fifo)
+            if queued != stream.pending_words:
+                yield (
+                    f"indexed stream '{name}': pending_words counter "
+                    f"{stream.pending_words} != {queued} words actually "
+                    "queued across lane FIFOs"
+                )
+            if stream.outstanding_writes < 0:
+                yield (
+                    f"indexed stream '{name}': negative outstanding-write "
+                    f"credit ({stream.outstanding_writes})"
+                )
+            if stream.robs is not None:
+                for lane, rob in enumerate(stream.robs):
+                    yield from self._check_rob(name, lane, rob)
+
+    @staticmethod
+    def _check_head_cache(name, fifo):
+        cached = fifo._head_cache
+        if cached is _STALE:
+            return
+        fifo._head_cache = _STALE
+        try:
+            expected = fifo.peek_word()
+        finally:
+            fifo._head_cache = cached
+        if cached != expected:
+            yield (
+                f"indexed stream '{name}' lane {fifo.lane}: stale head "
+                f"cache ({cached} cached, {expected} actual)"
+            )
+
+    @staticmethod
+    def _check_rob(name, lane, rob):
+        issued = rob._next_ticket - rob._head_ticket
+        if len(rob._slots) != issued:
+            yield (
+                f"indexed stream '{name}' lane {lane}: reorder buffer "
+                f"holds {len(rob._slots)} slots but tickets say "
+                f"{issued} outstanding"
+            )
+        if rob.occupancy > rob.capacity:
+            yield (
+                f"indexed stream '{name}' lane {lane}: reorder buffer "
+                f"occupancy {rob.occupancy} exceeds capacity {rob.capacity}"
+            )
+        unfilled = sum(1 for slot in rob._slots if not slot.valid)
+        if unfilled != len(rob._live):
+            yield (
+                f"indexed stream '{name}' lane {lane}: {unfilled} unfilled "
+                f"reorder slots but {len(rob._live)} live tickets"
+            )
+
+    def _check_networks(self):
+        address = self.srf.address_network
+        for lane in range(address.lanes):
+            if not 0 <= address._source_budget[lane] <= address.source_bandwidth:
+                yield (
+                    f"address network: source budget of lane {lane} is "
+                    f"{address._source_budget[lane]}, outside "
+                    f"[0, {address.source_bandwidth}]"
+                )
+            if not 0 <= address._bank_budget[lane] <= address.ports_per_bank:
+                yield (
+                    f"address network: port budget of bank {lane} is "
+                    f"{address._bank_budget[lane]}, outside "
+                    f"[0, {address.ports_per_bank}]"
+                )
+        returns = self.srf.return_network
+        for bank in range(returns.lanes):
+            reserved = returns._reserved[bank]
+            if reserved < 0:
+                yield (
+                    f"return network: negative reservation count "
+                    f"({reserved}) at bank {bank}"
+                )
+            depth = len(returns._queues[bank]) + reserved
+            if depth > returns.bank_queue_depth:
+                yield (
+                    f"return network: bank {bank} holds {depth} words "
+                    f"(queued + reserved) against a depth of "
+                    f"{returns.bank_queue_depth}"
+                )
+
+    def _check_pipeline(self, cycle: int):
+        heap = self.srf._in_flight
+        if heap and heap[0][0] <= cycle:
+            yield (
+                f"completion pipeline: access due at cycle {heap[0][0]} "
+                f"still in flight after cycle {cycle} drained"
+            )

@@ -1,0 +1,331 @@
+"""Kernel-IR verifier: structural validation of the dataflow graph.
+
+:meth:`repro.kernel.ir.Kernel.validate` raises on the first structural
+problem it meets — fine for ``build()``, useless for tooling that wants
+*all* problems at once. This pass re-checks the same invariants (and
+several stronger ones) but returns every finding as a
+:class:`~repro.analyze.diagnostics.Diagnostic` with op provenance:
+
+* SSA discipline — operands are members of the kernel and defined
+  before use (which also proves the non-carry part of the graph
+  acyclic, since ops only reference earlier ops);
+* operand arity and payload presence per :class:`~repro.kernel.ops.OpKind`;
+* carry discipline — every declared carry is updated exactly once by a
+  member op, and every ``CARRY`` read belongs to a declared carry;
+* stream discipline — every stream op names a declared formal stream
+  whose :class:`~repro.core.descriptors.StreamKind` permits that op,
+  and indexed issue/data ops pair up one-to-one per stream;
+* liveness — ops whose values can never reach a stream write, a carry
+  update, or an address issue are flagged as dead code.
+
+``verify_kernel(kernel, raise_on_error=True)`` wraps the pass for
+callers that want a :class:`~repro.errors.KernelVerifyError` instead of
+a diagnostic list.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.diagnostics import error, warning
+from repro.core.descriptors import StreamKind
+from repro.errors import KernelVerifyError
+from repro.kernel.ir import Kernel
+from repro.kernel.ops import OpKind
+
+#: Stream kinds each stream-op kind may address.
+_ALLOWED_KINDS = {
+    OpKind.SEQ_READ: (StreamKind.SEQUENTIAL_READ,),
+    OpKind.SEQ_WRITE: (StreamKind.SEQUENTIAL_WRITE,),
+    OpKind.IDX_ISSUE: (
+        StreamKind.INLANE_INDEXED_READ,
+        StreamKind.INLANE_INDEXED_READWRITE,
+        StreamKind.CROSSLANE_INDEXED_READ,
+    ),
+    OpKind.IDX_DATA: (
+        StreamKind.INLANE_INDEXED_READ,
+        StreamKind.INLANE_INDEXED_READWRITE,
+        StreamKind.CROSSLANE_INDEXED_READ,
+    ),
+    OpKind.IDX_WRITE: (
+        StreamKind.INLANE_INDEXED_WRITE,
+        StreamKind.INLANE_INDEXED_READWRITE,
+    ),
+}
+
+#: Exact or (min, max) operand counts per op kind.
+_ARITY = {
+    OpKind.CONST: (0, 0),
+    OpKind.LANEID: (0, 0),
+    OpKind.CARRY: (0, 0),
+    OpKind.SEQ_READ: (0, 0),
+    OpKind.SEQ_WRITE: (1, 1),
+    OpKind.IDX_ISSUE: (1, 2),  # index [, predicate]
+    OpKind.IDX_DATA: (1, 1),  # the issue op
+    OpKind.IDX_WRITE: (2, 3),  # index, value [, predicate]
+    OpKind.COMM: (2, 2),  # value, source lane
+}
+
+#: Kinds whose ops never have effects beyond their value.
+_VALUE_ONLY = (OpKind.CONST, OpKind.LANEID, OpKind.COMM)
+
+#: Kinds whose purity depends on the payload (see :func:`_is_pure`).
+_FUNCTIONAL = (OpKind.ARITH, OpKind.LOGIC, OpKind.MUL, OpKind.DIV)
+
+
+def _is_pure(op) -> bool:
+    """Whether discarding ``op``'s value discards the whole op.
+
+    Functional ops built by the :class:`~repro.kernel.builder.
+    KernelBuilder` helpers carry an ``algebra`` tag and are known pure.
+    A raw callable payload is opaque — apps legitimately pass
+    side-effecting closures (e.g. host-side accumulators) — so untagged
+    functional ops are conservatively treated as effects, never dead.
+    """
+    if op.kind in _VALUE_ONLY:
+        return True
+    return op.kind in _FUNCTIONAL and op.algebra is not None
+
+
+def verify_kernel(kernel: Kernel, raise_on_error: bool = False) -> list:
+    """Run every structural check; returns the diagnostic list.
+
+    With ``raise_on_error`` a :class:`~repro.errors.KernelVerifyError`
+    carrying the diagnostics is raised if any error-level finding exists.
+    """
+    diagnostics = []
+    diagnostics.extend(_check_ssa(kernel))
+    diagnostics.extend(_check_arity(kernel))
+    diagnostics.extend(_check_carries(kernel))
+    diagnostics.extend(_check_streams(kernel))
+    diagnostics.extend(_check_liveness(kernel))
+    if raise_on_error:
+        errors = [d for d in diagnostics if d.severity.rank >= 2]
+        if errors:
+            raise KernelVerifyError(
+                f"kernel {kernel.name!r} failed verification "
+                f"({len(errors)} error(s)):\n"
+                + "\n".join(f"  {d.describe()}" for d in errors),
+                diagnostics=diagnostics,
+            )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+def _check_ssa(kernel: Kernel):
+    """Membership and define-before-use (acyclicity) of operand edges."""
+    ids = {op.op_id for op in kernel.ops}
+    seen = set()
+    for op in kernel.ops:
+        for operand in op.operands:
+            if operand.op_id not in ids:
+                yield error(
+                    "operand-not-member",
+                    f"{op.name} uses {operand.name}, which is not part of "
+                    "this kernel",
+                    kernel=kernel.name, op=op.name,
+                )
+            elif operand.op_id not in seen and operand.kind is not OpKind.CARRY:
+                yield error(
+                    "use-before-def",
+                    f"{op.name} uses {operand.name} before its definition "
+                    "(the non-carry graph must be acyclic)",
+                    kernel=kernel.name, op=op.name,
+                )
+        seen.add(op.op_id)
+
+
+def _check_arity(kernel: Kernel):
+    """Operand counts and functional-payload presence."""
+    for op in kernel.ops:
+        bounds = _ARITY.get(op.kind)
+        if bounds is not None:
+            low, high = bounds
+            if not low <= len(op.operands) <= high:
+                expected = (
+                    str(low) if low == high else f"{low}..{high}"
+                )
+                yield error(
+                    "operand-arity",
+                    f"{op.name} ({op.kind.value}) has {len(op.operands)} "
+                    f"operand(s), expected {expected}",
+                    kernel=kernel.name, op=op.name,
+                )
+        if op.kind in (OpKind.ARITH, OpKind.LOGIC, OpKind.MUL, OpKind.DIV):
+            if not callable(op.payload):
+                yield error(
+                    "missing-payload",
+                    f"{op.name} ({op.kind.value}) has no functional payload",
+                    kernel=kernel.name, op=op.name,
+                )
+            if not op.operands:
+                yield error(
+                    "operand-arity",
+                    f"{op.name} ({op.kind.value}) has no operands",
+                    kernel=kernel.name, op=op.name,
+                )
+        if op.kind is OpKind.CONST and op.value is None:
+            yield warning(
+                "const-without-value",
+                f"{op.name} is a constant with value None",
+                kernel=kernel.name, op=op.name,
+            )
+
+
+def _check_carries(kernel: Kernel):
+    """Every carry updated exactly once by a member op; reads declared."""
+    ids = {op.op_id for op in kernel.ops}
+    declared = set(map(id, kernel.carries))
+    for carry in kernel.carries:
+        if carry.update_op is None:
+            yield error(
+                "carry-never-updated",
+                f"carry {carry.name} is declared but never updated "
+                "(its next-iteration value is undefined)",
+                kernel=kernel.name, op=f"carry_{carry.name}",
+            )
+        elif carry.update_op.op_id not in ids:
+            yield error(
+                "carry-update-not-member",
+                f"carry {carry.name} is updated by "
+                f"{carry.update_op.name}, which is not part of this kernel",
+                kernel=kernel.name, op=f"carry_{carry.name}",
+            )
+        if carry.read_op is not None and carry.read_op.op_id not in ids:
+            yield error(
+                "carry-read-not-member",
+                f"carry {carry.name}'s read op is not part of this kernel",
+                kernel=kernel.name, op=f"carry_{carry.name}",
+            )
+    for op in kernel.ops:
+        if op.kind is OpKind.CARRY:
+            if op.carry is None or id(op.carry) not in declared:
+                yield error(
+                    "carry-not-declared",
+                    f"{op.name} reads a carry that is not declared on this "
+                    "kernel",
+                    kernel=kernel.name, op=op.name,
+                )
+
+
+def _check_streams(kernel: Kernel):
+    """Stream-op / stream-kind compatibility and issue/data pairing."""
+    registered = {id(s): name for name, s in kernel.streams.items()}
+    used = set()
+    issues = {}
+    datas = {}
+    for op in kernel.ops:
+        if op.kind not in _ALLOWED_KINDS:
+            continue
+        stream = op.stream
+        if stream is None:
+            yield error(
+                "stream-missing",
+                f"{op.name} ({op.kind.value}) names no stream",
+                kernel=kernel.name, op=op.name,
+            )
+            continue
+        if id(stream) not in registered:
+            yield error(
+                "stream-not-declared",
+                f"{op.name} accesses stream {stream.name!r}, which is not "
+                "declared on this kernel",
+                kernel=kernel.name, op=op.name, stream=stream.name,
+            )
+            continue
+        used.add(id(stream))
+        if stream.kind not in _ALLOWED_KINDS[op.kind]:
+            yield error(
+                "stream-kind-mismatch",
+                f"{op.name} ({op.kind.value}) cannot access "
+                f"{stream.kind.value} stream {stream.name!r}",
+                kernel=kernel.name, op=op.name, stream=stream.name,
+            )
+        if op.kind is OpKind.IDX_ISSUE:
+            issues.setdefault(stream.name, []).append(op)
+        elif op.kind is OpKind.IDX_DATA:
+            datas.setdefault(stream.name, []).append(op)
+            issue = op.operands[0] if op.operands else None
+            if issue is not None and (
+                issue.kind is not OpKind.IDX_ISSUE
+                or issue.stream is not stream
+            ):
+                yield error(
+                    "idx-data-unpaired",
+                    f"{op.name} must consume an address issued on the same "
+                    f"stream, not {issue.name}",
+                    kernel=kernel.name, op=op.name, stream=stream.name,
+                )
+    for name in sorted(set(issues) | set(datas)):
+        stream = kernel.streams.get(name)
+        if stream is not None and stream.kind is StreamKind.INLANE_INDEXED_READWRITE:
+            # Read-write streams legitimately mix reads (paired) with
+            # writes; only require data <= issue there.
+            continue
+        n_issue = len(issues.get(name, ()))
+        n_data = len(datas.get(name, ()))
+        if n_issue != n_data:
+            yield error(
+                "idx-issue-data-mismatch",
+                f"stream {name!r} has {n_issue} address issue(s) but "
+                f"{n_data} data pop(s) per iteration — the reorder buffer "
+                "would drift every iteration",
+                kernel=kernel.name, stream=name,
+            )
+    for name, stream in kernel.streams.items():
+        if id(stream) not in used and not any(
+            op.stream is stream for op in kernel.ops
+        ):
+            yield warning(
+                "stream-unused",
+                f"declared stream {name!r} is never accessed",
+                kernel=kernel.name, stream=name,
+            )
+
+
+def _check_liveness(kernel: Kernel):
+    """Flag pure ops whose values cannot reach any effect.
+
+    Effects are stream writes, address issues/pops (they move machine
+    state) and carry updates. ``SEQ_READ`` is excluded from the dead set
+    — an unused read still pops its stream — but unused reads are
+    suspicious enough to flag separately.
+    """
+    live = set()
+    roots = []
+    update_ids = set()
+    for carry in kernel.carries:
+        if carry.update_op is not None:
+            roots.append(carry.update_op)
+            update_ids.add(carry.update_op.op_id)
+    for op in kernel.ops:
+        if op.kind in (OpKind.SEQ_WRITE, OpKind.IDX_WRITE, OpKind.IDX_ISSUE,
+                       OpKind.IDX_DATA):
+            roots.append(op)
+        elif op.kind in _FUNCTIONAL and op.algebra is None:
+            # Opaque payload: may be side-effecting (host accumulators
+            # and the like), so it keeps itself and its inputs alive.
+            roots.append(op)
+    stack = list(roots)
+    while stack:
+        op = stack.pop()
+        if op.op_id in live:
+            continue
+        live.add(op.op_id)
+        stack.extend(op.operands)
+    for op in kernel.ops:
+        if op.op_id in live or op.op_id in update_ids:
+            continue
+        if _is_pure(op):
+            yield warning(
+                "dead-op",
+                f"{op.name} ({op.kind.value}) cannot reach any stream "
+                "write, address issue, or carry update",
+                kernel=kernel.name, op=op.name,
+            )
+        elif op.kind is OpKind.SEQ_READ:
+            yield warning(
+                "unused-read",
+                f"{op.name} pops {op.stream.name!r} but its value is "
+                "never used",
+                kernel=kernel.name, op=op.name,
+                stream=op.stream.name if op.stream else "",
+            )

@@ -112,6 +112,13 @@ class MachineConfig:
     #: charging them to the same stall categories in bulk. Results are
     #: bit-identical to per-cycle stepping; disable only to cross-check.
     fast_forward: bool = True
+    #: Debug mode: assert cycle-level machine invariants (SRF occupancy
+    #: conservation, stream-buffer credit balance, address-FIFO head
+    #: coherence, crossbar budget bounds) every simulated cycle, raising
+    #: :class:`repro.errors.SanitizerError` with a forensic report on the
+    #: first violation. Inert when off — like trace/faults, a disabled
+    #: machine carries no sanitizer state and stats are bit-identical.
+    sanitize: bool = False
 
     # --- Observability (repro.observe) -----------------------------------
     #: Record structured trace events (Chrome trace_event export). Off by

@@ -31,6 +31,31 @@ class KernelBuildError(ReproError):
     """A kernel dataflow graph was constructed incorrectly."""
 
 
+class KernelVerifyError(KernelBuildError):
+    """The static kernel IR verifier rejected a dataflow graph.
+
+    Raised by :func:`repro.analyze.verify_kernel` when asked to enforce
+    its diagnostics; carries the failing
+    :class:`repro.analyze.Diagnostic` list in ``diagnostics``.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
+class AnalysisError(ReproError):
+    """The static stream-program analyzer rejected a program.
+
+    Carries the error-level :class:`repro.analyze.Diagnostic` list in
+    ``diagnostics``.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
 class ScheduleError(ReproError):
     """The modulo scheduler could not produce a legal schedule."""
 
@@ -47,6 +72,23 @@ class DeadlockError(ExecutionError):
     appended to the message, so the exception text alone names the
     blocked tasks, their unmet dependencies, in-flight memory operations
     and SRF occupancy.
+    """
+
+    def __init__(self, message: str, report=None):
+        if report is not None:
+            message = f"{message}\n{report.describe()}"
+        super().__init__(message)
+        self.report = report
+
+
+class SanitizerError(ExecutionError):
+    """The machine-state sanitizer found a broken cycle-level invariant.
+
+    Only raised with :attr:`repro.config.MachineConfig.sanitize` on.
+    Carries a :class:`repro.analyze.sanitize.SanitizerReport` in
+    ``report`` whose rendering is appended to the message, so the
+    exception text alone names the violated invariant, the component,
+    and the machine state around it.
     """
 
     def __init__(self, message: str, report=None):

@@ -715,3 +715,58 @@ def headline(scale: "str | None" = None) -> dict:
         ["benchmark", "speedup", "traffic vs Base"], rows,
     )
     return {"claims": claims, "rows": rows, "text": text}
+
+
+# ----------------------------------------------------------------------
+# Static analysis gate: verifier + program analyzer + sanitizer smoke
+# ----------------------------------------------------------------------
+def check(scale: "str | None" = None) -> dict:
+    """Static analysis of every benchmark program on every preset.
+
+    Runs the kernel verifier and the stream-program analyzer (see
+    :mod:`repro.analyze`) over the same steady-state program chains the
+    figure experiments execute, without simulating a cycle, then runs
+    one short FFT simulation on ISRF4 with ``sanitize=True`` so the
+    cycle-level invariant checks get exercised end to end. Any
+    error-level finding fails the experiment — this is the harness face
+    of the ``python -m repro.analyze`` CI gate.
+    """
+    from repro.analyze.diagnostics import Severity
+    from repro.analyze.driver import check_everything
+    from repro.errors import AnalysisError
+
+    scale = scale or default_scale()
+    params = SCALES[scale]
+    reports = check_everything()
+    rows = []
+    failures = []
+    for report in reports:
+        errors = report.errors
+        warnings = report.warnings
+        notes = report.by_severity(Severity.INFO)
+        rows.append([
+            report.subject, "FAIL" if errors else "ok",
+            len(errors), len(warnings), len(notes),
+        ])
+        failures.extend(d.describe() for d in errors)
+
+    sanitized = isrf4_config(sanitize=True)
+    result = fft.run(sanitized, n=params["fft_n"])
+    result.require_verified()
+    rows.append([
+        f"sanitizer smoke (FFT 2D on {sanitized.name})", "ok",
+        0, 0, result.cycles,
+    ])
+
+    if failures:
+        raise AnalysisError(
+            f"static analysis found {len(failures)} error(s):\n"
+            + "\n".join(f"  {line}" for line in failures)
+        )
+    text = render_table(
+        "Check: static analysis over every app x preset, plus a "
+        "sanitizer-enabled smoke simulation (last row: cycles column "
+        "holds the simulated cycle count)",
+        ["subject", "status", "errors", "warnings", "notes"], rows,
+    )
+    return {"rows": rows, "failures": failures, "text": text}

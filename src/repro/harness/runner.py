@@ -32,6 +32,7 @@ from repro.harness import figures
 
 #: Experiment name -> runner, in report order (the CLI preserves it).
 EXPERIMENTS = {
+    "check": figures.check,
     "table3": figures.table3,
     "table4": figures.table4,
     "area": figures.area_overheads,

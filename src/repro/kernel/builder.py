@@ -107,18 +107,28 @@ class KernelBuilder:
         )
 
     def xor(self, a: Op, b: Op, name: str = "") -> Op:
-        return self.logic(operator.xor, a, b, name=name or "xor")
+        return self._add(
+            Op(OpKind.LOGIC, (a, b), payload=operator.xor,
+               name=name or "xor", algebra="xor")
+        )
 
     def add(self, a: Op, b: Op, name: str = "") -> Op:
-        return self.arith(operator.add, a, b, name=name or "add")
+        return self._add(
+            Op(OpKind.ARITH, (a, b), payload=operator.add,
+               name=name or "add", algebra="add")
+        )
 
     def sub(self, a: Op, b: Op, name: str = "") -> Op:
-        return self.arith(operator.sub, a, b, name=name or "sub")
+        return self._add(
+            Op(OpKind.ARITH, (a, b), payload=operator.sub,
+               name=name or "sub", algebra="sub")
+        )
 
     def mul(self, a: Op, b: Op, name: str = "") -> Op:
         """Pipelined multiply (4-cycle ALU op)."""
         return self._add(
-            Op(OpKind.MUL, (a, b), payload=operator.mul, name=name or "mul")
+            Op(OpKind.MUL, (a, b), payload=operator.mul, name=name or "mul",
+               algebra="mul")
         )
 
     def div(self, a: Op, b: Op, name: str = "") -> Op:
@@ -130,13 +140,21 @@ class KernelBuilder:
 
     def select(self, cond: Op, if_true: Op, if_false: Op, name: str = "") -> Op:
         """Predicated select — how conditionals become dataflow (§3.2)."""
-        return self.arith(
-            lambda c, t, f: t if c else f, cond, if_true, if_false,
-            name=name or "select",
+        return self._add(
+            Op(OpKind.ARITH, (cond, if_true, if_false),
+               payload=lambda c, t, f: t if c else f,
+               name=name or "select", algebra="select")
         )
 
     def lt(self, a: Op, b: Op, name: str = "") -> Op:
         return self.arith(operator.lt, a, b, name=name or "lt")
+
+    def mod(self, a: Op, b: Op, name: str = "") -> Op:
+        """Integer remainder (an ALU op the index analysis can bound)."""
+        return self._add(
+            Op(OpKind.ARITH, (a, b), payload=operator.mod,
+               name=name or "mod", algebra="mod")
+        )
 
     def land(self, a: Op, b: Op, name: str = "") -> Op:
         return self.arith(lambda x, y: bool(x) and bool(y), a, b,

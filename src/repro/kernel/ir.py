@@ -53,7 +53,7 @@ class Op:
 
     def __init__(self, kind: OpKind, operands=(), payload=None,
                  stream: "KernelStream | None" = None, name: str = "",
-                 value=None):
+                 value=None, algebra: "str | None" = None):
         self.op_id = next(_op_ids)
         self.kind = kind
         self.operands = list(operands)
@@ -62,6 +62,12 @@ class Op:
         self.name = name or f"{kind.value}_{self.op_id}"
         self.value = value  # for CONST
         self.carry: "Carry | None" = None  # for CARRY reads
+        #: Known algebraic semantics of the payload ("add", "sub", "mul",
+        #: ...), set by the builder helpers whose payloads it describes.
+        #: ``None`` means the payload is an opaque callable; the static
+        #: index analysis (repro.analyze) treats such values as
+        #: unbounded rather than guessing.
+        self.algebra = algebra
 
     @property
     def spec(self) -> OpSpec:
@@ -133,17 +139,37 @@ class Kernel:
                         "definition (graph must be built in order)"
                     )
             seen.add(op.op_id)
+        carry_set = set(map(id, self.carries))
         for carry in self.carries:
             if carry.update_op is None:
                 raise KernelBuildError(
                     f"{self.name}: carry {carry.name} never updated"
                 )
+            if carry.update_op.op_id not in ids:
+                raise KernelBuildError(
+                    f"{self.name}: carry {carry.name} updated by "
+                    f"{carry.update_op.name}, which is not part of this "
+                    "kernel"
+                )
+        registered = set(map(id, self.streams.values()))
         for op in self.ops:
             if op.kind in (OpKind.SEQ_READ, OpKind.SEQ_WRITE, OpKind.IDX_ISSUE,
-                           OpKind.IDX_WRITE):
+                           OpKind.IDX_DATA, OpKind.IDX_WRITE):
                 if op.stream is None:
                     raise KernelBuildError(
                         f"{self.name}: {op.name} has no stream"
+                    )
+                if id(op.stream) not in registered:
+                    raise KernelBuildError(
+                        f"{self.name}: {op.name} accesses stream "
+                        f"{op.stream.name!r} which is not declared on this "
+                        "kernel"
+                    )
+            elif op.kind is OpKind.CARRY:
+                if op.carry is None or id(op.carry) not in carry_set:
+                    raise KernelBuildError(
+                        f"{self.name}: {op.name} reads a carry that is not "
+                        "declared on this kernel"
                     )
 
     # ------------------------------------------------------------------

@@ -88,6 +88,10 @@ def build_deadlock_report(program_name: str, cycle: int, *,
     ``mem_waiting``/``kernel_waiting`` are the processor's unissued task
     lists, ``running`` the (task, executor, snapshot) triple of an active
     kernel, ``completed`` the retired task-id set.
+
+    Every listing is sorted (blocked tasks by task id, dependencies
+    numerically, in-flight/occupancy lines lexicographically) so the
+    rendered forensics are deterministic and can be golden-tested.
     """
     report = DeadlockReport(program=program_name, cycle=cycle)
     for kind, tasks in (("memory", mem_waiting), ("kernel", kernel_waiting)):
@@ -96,8 +100,11 @@ def build_deadlock_report(program_name: str, cycle: int, *,
                 task_id=task.task_id,
                 name=task.name,
                 kind=kind,
-                missing_deps=[d for d in task.deps if d not in completed],
+                missing_deps=sorted(
+                    d for d in task.deps if d not in completed
+                ),
             ))
+    report.blocked.sort(key=lambda task: task.task_id)
     if running is not None:
         task, executor, _snapshot = running
         report.running_kernel = (
@@ -105,9 +112,9 @@ def build_deadlock_report(program_name: str, cycle: int, *,
             f"(startup remaining {executor.startup_remaining})"
         )
     if controller is not None:
-        report.inflight_memory = controller.inflight_report()
+        report.inflight_memory = sorted(controller.inflight_report())
     if srf is not None:
-        report.srf_occupancy = srf.occupancy_report()
+        report.srf_occupancy = sorted(srf.occupancy_report())
     return report
 
 

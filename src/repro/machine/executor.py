@@ -253,6 +253,12 @@ class KernelExecutor:
                     f"{formal.kind.value} but bound to a "
                     f"{descriptor.kind.value} descriptor"
                 )
+            if descriptor.record_words != formal.record_words:
+                raise ExecutionError(
+                    f"{self.invocation.name}: stream {name!r} has "
+                    f"{formal.record_words}-word records but is bound to a "
+                    f"descriptor with {descriptor.record_words}-word records"
+                )
             self._descriptors[name] = descriptor
             if formal.kind.is_sequential:
                 direction = (

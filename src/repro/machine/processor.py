@@ -65,6 +65,24 @@ class StreamProcessor:
         self.fault_stats = FaultStats()
         self._install_faults(config)
         self._install_observer(config)
+        self._install_sanitizer(config)
+
+    def _install_sanitizer(self, config: MachineConfig) -> None:
+        """Attach the debug invariant checker (usually None).
+
+        Like the fault and observability layers, a machine built with
+        ``sanitize=False`` carries no sanitizer state at all, and a
+        sanitized run's stats are bit-identical to an unsanitized one —
+        every check is a read-only probe.
+        """
+        self._sanitizer = None
+        if config.sanitize:
+            # Imported lazily: repro.analyze is a client of the machine
+            # layer everywhere else, and the dependency must not become
+            # circular at import time.
+            from repro.analyze.sanitize import MachineSanitizer
+
+            self._sanitizer = MachineSanitizer(self.srf)
 
     def _install_observer(self, config: MachineConfig) -> None:
         """Wire the configured observability bundle in (usually None).
@@ -279,6 +297,8 @@ class StreamProcessor:
             if running is not None:
                 comm_busy = running[1].step()
             self.srf.tick(self.cycle, comm_busy)
+            if self._sanitizer is not None:
+                self._sanitizer.check(self.cycle)
 
             if running is None:
                 if self.controller.busy:

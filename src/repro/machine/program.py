@@ -60,6 +60,12 @@ class KernelInvocation:
                 raise ExecutionError(
                     f"{self.name}: stream {stream_name!r} not bound"
                 )
+        unknown = [b for b in self.bindings if b not in self.kernel.streams]
+        if unknown:
+            raise ExecutionError(
+                f"{self.name}: bindings name streams the kernel does not "
+                f"declare: {', '.join(sorted(unknown))}"
+            )
         if self.useful_iterations is not None:
             if any(u > self.iterations for u in self.useful_iterations):
                 raise ExecutionError(

@@ -30,7 +30,6 @@ from repro.observe.events import (
     PHASE_BEGIN,
     PHASE_COUNTER,
     PHASE_END,
-    PHASE_INSTANT,
     PHASES,
     Tracer,
 )

@@ -1,0 +1,45 @@
+"""The ``python -m repro.analyze`` CLI and the harness ``check`` hook."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analyze.__main__ import main
+from repro.harness.runner import EXPERIMENTS
+
+
+class TestMain:
+    def test_single_app_single_config_is_clean(self, capsys):
+        assert main(["--app", "Sort", "--config", "ISRF4"]) == 0
+        out = capsys.readouterr().out
+        assert "Sort" in out
+        assert "static analysis clean" in out
+
+    def test_verbose_prints_notes(self, capsys):
+        assert main(["--app", "Rijndael", "--config", "ISRF4", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "bounds-summary" in out
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--config", "NoSuchMachine"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--app", "NoSuchApp"])
+
+
+def test_module_entry_point_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analyze",
+         "--app", "FFT 2D", "--config", "Base"],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "static analysis clean" in proc.stdout
+
+
+def test_check_experiment_is_registered():
+    assert "check" in EXPERIMENTS

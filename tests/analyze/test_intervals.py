@@ -1,0 +1,144 @@
+"""Unit tests for the index-analysis abstract domains."""
+
+from repro.analyze import AffineForm, IndexEvaluator, Interval
+from repro.kernel.builder import KernelBuilder
+
+
+class TestInterval:
+    def test_const_and_within(self):
+        assert Interval.const(3).within(0, 7)
+        assert not Interval.const(8).within(0, 7)
+        assert not Interval.top().within(0, 7)
+
+    def test_join_hulls(self):
+        assert Interval(0, 3).join(Interval(5, 9)) == Interval(0, 9)
+        assert Interval(0, 3).join(Interval.top()) == Interval.top()
+
+    def test_arithmetic(self):
+        assert Interval(1, 2).add(Interval(10, 20)) == Interval(11, 22)
+        assert Interval(1, 2).sub(Interval(10, 20)) == Interval(-19, -8)
+        assert Interval(-2, 3).mul(Interval(4, 5)) == Interval(-10, 15)
+
+    def test_mul_handles_unbounded_times_zero(self):
+        # inf * 0 must not poison the hull with NaN.
+        assert Interval.top().mul(Interval(0, 0)) == Interval(0, 0)
+
+    def test_mod_positive_constant_divisor(self):
+        assert Interval(0, 100).mod(Interval.const(8)) == Interval(0, 7)
+        assert Interval.top().mod(Interval.const(8)) == Interval(0, 7)
+        # Already in range: mod is the identity (object-preserving).
+        inside = Interval(2, 5)
+        assert inside.mod(Interval.const(8)) is inside
+
+    def test_mod_unknown_divisor_is_top(self):
+        assert Interval(0, 10).mod(Interval(1, 8)) == Interval.top()
+        assert Interval(0, 10).mod(Interval.const(0)) == Interval.top()
+
+    def test_xor_power_of_two_ceiling(self):
+        assert Interval(0, 5).xor(Interval(0, 5)) == Interval(0, 7)
+        assert Interval(-1, 5).xor(Interval(0, 5)) == Interval.top()
+
+
+class TestAffineForm:
+    def test_to_interval_is_corner_tight(self):
+        form = AffineForm(10, c_iter=2, c_lane=-1)
+        # iter in [0, 4], lane in [0, 7]
+        assert form.to_interval(5, 8) == Interval(3, 18)
+
+    def test_zero_trip_count_collapses(self):
+        form = AffineForm(10, c_iter=2)
+        assert form.to_interval(0, 8) == Interval(10, 10)
+
+    def test_algebra(self):
+        a = AffineForm(1, c_iter=2)
+        b = AffineForm(3, c_lane=4)
+        assert a.add(b) == AffineForm(4, c_iter=2, c_lane=4)
+        assert a.sub(b) == AffineForm(-2, c_iter=2, c_lane=-4)
+        assert a.scale(3) == AffineForm(3, c_iter=6)
+
+
+def _evaluate(build, iterations=16, lanes=8):
+    """Build a kernel with ``build(b)`` returning the op under test."""
+    b = KernelBuilder("probe")
+    dst = b.ostream("dst")
+    op = build(b)
+    b.write(dst, op)
+    kernel = b.build()
+    return IndexEvaluator(kernel, iterations, lanes).value_of(op)
+
+
+class TestIndexEvaluator:
+    def test_constants_are_exact(self):
+        value = _evaluate(lambda b: b.const(5))
+        assert value.is_exact
+        assert value.interval == Interval(5, 5)
+
+    def test_laneid_spans_lanes(self):
+        value = _evaluate(lambda b: b.laneid(), lanes=8)
+        assert value.is_exact
+        assert value.interval == Interval(0, 7)
+
+    def test_induction_carry_is_affine(self):
+        def build(b):
+            it = b.carry(0, "it")
+            b.update(it, b.add(it, b.const(1), name="next"))
+            return it
+        value = _evaluate(build, iterations=10)
+        assert value.is_exact
+        assert value.affine == AffineForm(0, c_iter=1)
+        assert value.interval == Interval(0, 9)
+
+    def test_downward_induction(self):
+        def build(b):
+            it = b.carry(9, "it")
+            b.update(it, b.sub(it, b.const(1), name="next"))
+            return it
+        value = _evaluate(build, iterations=10)
+        assert value.affine == AffineForm(9, c_iter=-1)
+        assert value.interval == Interval(0, 9)
+
+    def test_constant_reset_carry_is_hulled(self):
+        def build(b):
+            flag = b.carry(0, "flag")
+            b.update(flag, b.const(1))
+            return flag
+        value = _evaluate(build)
+        assert value.interval == Interval(0, 1)
+        assert not value.is_exact  # two distinct values, not affine
+
+    def test_opaque_payload_is_top(self):
+        value = _evaluate(lambda b: b.logic(lambda: 3, name="opaque"))
+        assert not value.is_exact
+        assert value.interval == Interval.top()
+
+    def test_scaled_counter_plus_lane(self):
+        def build(b):
+            it = b.carry(0, "it")
+            b.update(it, b.add(it, b.const(1), name="next"))
+            return b.add(b.mul(it, b.const(4), name="scaled"), b.laneid())
+        value = _evaluate(build, iterations=4, lanes=8)
+        assert value.affine == AffineForm(0, c_iter=4, c_lane=1)
+        assert value.interval == Interval(0, 19)
+
+    def test_mod_bounds_an_unbounded_counter(self):
+        def build(b):
+            raw = b.logic(lambda: 0, name="opaque")
+            return b.mod(raw, b.const(8))
+        value = _evaluate(build)
+        assert value.interval == Interval(0, 7)
+        assert not value.is_exact  # hull is sound but not exact
+
+    def test_select_joins_branches(self):
+        def build(b):
+            cond = b.logic(lambda: 1, name="cond")
+            return b.select(cond, b.const(2), b.const(11))
+        value = _evaluate(build)
+        assert value.interval == Interval(2, 11)
+        assert not value.is_exact
+
+    def test_stream_reads_are_top(self):
+        def build(b):
+            src = b.istream("src")
+            return b.read(src, name="data")
+        value = _evaluate(build)
+        assert value.interval == Interval.top()

@@ -1,0 +1,51 @@
+"""The analyzer's no-false-positive contract, enforced empirically.
+
+Every shipped benchmark on every Table 2 preset must analyze with zero
+error-level findings: these are real, working programs, so any error
+here is by definition a false positive (or a latent app bug — either
+way, a gate failure worth stopping the build for).
+"""
+
+import pytest
+
+from repro.analyze.driver import (
+    APP_NAMES,
+    build_chain,
+    check_app,
+    check_everything,
+)
+from repro.config.presets import all_configs
+
+CONFIG_NAMES = ("Base", "ISRF1", "ISRF4", "Cache")
+
+
+@pytest.mark.parametrize("config_name", CONFIG_NAMES)
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_no_error_level_findings(app, config_name):
+    report = check_app(app, all_configs()[config_name])
+    assert report.ok, report.describe()
+
+
+def test_check_everything_covers_the_grid():
+    reports = check_everything()
+    assert len(reports) == len(APP_NAMES) * len(CONFIG_NAMES)
+    assert all(report.ok for report in reports)
+    subjects = {report.subject for report in reports}
+    assert "FFT 2D on ISRF4" in subjects
+
+
+def test_chains_contain_every_strip():
+    # The analyzed program must be the same chained steady-state shape
+    # the harness simulates, not a single strip.
+    config = all_configs()["ISRF4"]
+    one = build_chain("Sort", config, reps=1)
+    three = build_chain("Sort", config, reps=3)
+    assert len(three.tasks) > len(one.tasks)
+
+
+def test_deliberate_filter_pop_stays_a_warning():
+    # Filter's scratchpad kernel pops its input stream purely for fill
+    # bandwidth; that idiom must stay warning-level (never an error).
+    report = check_app("Filter", all_configs()["Base"])
+    assert report.ok
+    assert "unused-read" in {d.code for d in report.warnings}

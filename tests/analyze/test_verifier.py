@@ -1,0 +1,213 @@
+"""Kernel-verifier mutation corpus.
+
+Each test hand-builds (or builder-builds, then mutates) a deliberately
+broken kernel and asserts the verifier reports the *specific* stable
+diagnostic code for that defect — and nothing error-level for clean
+kernels. Hand-built :class:`~repro.kernel.ir.Kernel` objects bypass
+``KernelBuilder.build()`` validation on purpose: the verifier must
+catch broken graphs however they were produced.
+"""
+
+import pytest
+
+from repro.analyze import Severity, verify_kernel
+from repro.core.descriptors import StreamKind
+from repro.errors import KernelVerifyError
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.ir import Carry, Kernel, KernelStream, Op
+from repro.kernel.ops import OpKind
+
+
+def codes(diagnostics, severity=None):
+    return {
+        d.code for d in diagnostics
+        if severity is None or d.severity is severity
+    }
+
+
+def error_codes(diagnostics):
+    return codes(diagnostics, Severity.ERROR)
+
+
+def clean_kernel() -> Kernel:
+    b = KernelBuilder("clean")
+    src = b.istream("src")
+    dst = b.ostream("dst")
+    acc = b.carry(0.0, "acc")
+    value = b.read(src, name="value")
+    total = b.add(acc, value, name="total")
+    b.update(acc, total)
+    b.write(dst, total)
+    return b.build()
+
+
+class TestCleanKernels:
+    def test_builder_kernel_verifies_clean(self):
+        assert verify_kernel(clean_kernel()) == []
+
+    def test_raise_on_error_passes_clean(self):
+        assert verify_kernel(clean_kernel(), raise_on_error=True) == []
+
+
+class TestSsa:
+    def test_foreign_operand(self):
+        stray = Op(OpKind.CONST, value=1.0, name="stray")
+        use = Op(OpKind.ARITH, (stray,), payload=lambda x: x, name="use")
+        kernel = Kernel("bad", ops=[use])
+        assert "operand-not-member" in error_codes(verify_kernel(kernel))
+
+    def test_use_before_def(self):
+        late = Op(OpKind.CONST, value=2.0, name="late")
+        early = Op(OpKind.ARITH, (late,), payload=lambda x: x, name="early")
+        kernel = Kernel("bad", ops=[early, late])
+        assert "use-before-def" in error_codes(verify_kernel(kernel))
+
+    def test_carry_reads_are_exempt_from_def_order(self):
+        # The loop back edge legitimately reads a value defined "later".
+        assert "use-before-def" not in codes(verify_kernel(clean_kernel()))
+
+
+class TestArity:
+    def test_idx_write_missing_value_operand(self):
+        stream = KernelStream("table", StreamKind.INLANE_INDEXED_WRITE)
+        index = Op(OpKind.CONST, value=0, name="index")
+        broken = Op(OpKind.IDX_WRITE, (index,), stream=stream, name="put")
+        kernel = Kernel("bad", ops=[index, broken],
+                        streams={"table": stream})
+        assert "operand-arity" in error_codes(verify_kernel(kernel))
+
+    def test_arith_without_payload(self):
+        value = Op(OpKind.CONST, value=1.0, name="value")
+        broken = Op(OpKind.ARITH, (value,), payload=None, name="broken")
+        sink_stream = KernelStream("out", StreamKind.SEQUENTIAL_WRITE)
+        sink = Op(OpKind.SEQ_WRITE, (broken,), stream=sink_stream)
+        kernel = Kernel("bad", ops=[value, broken, sink],
+                        streams={"out": sink_stream})
+        assert "missing-payload" in error_codes(verify_kernel(kernel))
+
+
+class TestCarries:
+    def test_carry_never_updated(self):
+        carry = Carry(0.0, "acc")
+        read = Op(OpKind.CARRY, name="carry_acc")
+        read.carry = carry
+        carry.read_op = read
+        stream = KernelStream("out", StreamKind.SEQUENTIAL_WRITE)
+        sink = Op(OpKind.SEQ_WRITE, (read,), stream=stream)
+        kernel = Kernel("bad", ops=[read, sink],
+                        streams={"out": stream}, carries=[carry])
+        assert "carry-never-updated" in error_codes(verify_kernel(kernel))
+
+    def test_carry_read_without_declaration(self):
+        carry = Carry(0.0, "ghost")
+        read = Op(OpKind.CARRY, name="carry_ghost")
+        read.carry = carry
+        stream = KernelStream("out", StreamKind.SEQUENTIAL_WRITE)
+        sink = Op(OpKind.SEQ_WRITE, (read,), stream=stream)
+        kernel = Kernel("bad", ops=[read, sink], streams={"out": stream})
+        assert "carry-not-declared" in error_codes(verify_kernel(kernel))
+
+    def test_carry_updated_by_foreign_op(self):
+        kernel = clean_kernel()
+        kernel.carries[0].update_op = Op(
+            OpKind.CONST, value=0.0, name="foreign"
+        )
+        assert "carry-update-not-member" in error_codes(verify_kernel(kernel))
+
+
+class TestStreams:
+    def test_stream_not_declared(self):
+        stream = KernelStream("ghost", StreamKind.SEQUENTIAL_READ)
+        read = Op(OpKind.SEQ_READ, stream=stream, name="pop")
+        sink_stream = KernelStream("out", StreamKind.SEQUENTIAL_WRITE)
+        sink = Op(OpKind.SEQ_WRITE, (read,), stream=sink_stream)
+        kernel = Kernel("bad", ops=[read, sink],
+                        streams={"out": sink_stream})
+        assert "stream-not-declared" in error_codes(verify_kernel(kernel))
+
+    def test_stream_kind_mismatch(self):
+        # A sequential pop aimed at a write-only stream.
+        stream = KernelStream("out", StreamKind.SEQUENTIAL_WRITE)
+        read = Op(OpKind.SEQ_READ, stream=stream, name="pop")
+        sink = Op(OpKind.SEQ_WRITE, (read,), stream=stream)
+        kernel = Kernel("bad", ops=[read, sink], streams={"out": stream})
+        assert "stream-kind-mismatch" in error_codes(verify_kernel(kernel))
+
+    def test_issue_without_data_pop(self):
+        stream = KernelStream("table", StreamKind.INLANE_INDEXED_READ)
+        index = Op(OpKind.CONST, value=0, name="index")
+        issue = Op(OpKind.IDX_ISSUE, (index,), stream=stream, name="issue")
+        kernel = Kernel("bad", ops=[index, issue],
+                        streams={"table": stream})
+        assert "idx-issue-data-mismatch" in error_codes(verify_kernel(kernel))
+
+    def test_data_pop_paired_with_wrong_stream(self):
+        a = KernelStream("a", StreamKind.INLANE_INDEXED_READ)
+        z = KernelStream("z", StreamKind.INLANE_INDEXED_READ)
+        index = Op(OpKind.CONST, value=0, name="index")
+        issue_a = Op(OpKind.IDX_ISSUE, (index,), stream=a, name="issue_a")
+        issue_z = Op(OpKind.IDX_ISSUE, (index,), stream=z, name="issue_z")
+        data_a = Op(OpKind.IDX_DATA, (issue_z,), stream=a, name="data_a")
+        data_z = Op(OpKind.IDX_DATA, (issue_a,), stream=z, name="data_z")
+        kernel = Kernel(
+            "bad", ops=[index, issue_a, issue_z, data_a, data_z],
+            streams={"a": a, "z": z},
+        )
+        assert "idx-data-unpaired" in error_codes(verify_kernel(kernel))
+
+    def test_declared_but_unused_stream(self):
+        b = KernelBuilder("lazy")
+        b.istream("unused")
+        dst = b.ostream("dst")
+        b.write(dst, b.const(1.0))
+        diagnostics = verify_kernel(b.build())
+        assert "stream-unused" in codes(diagnostics, Severity.WARNING)
+
+
+class TestLiveness:
+    def test_dead_builder_op_flagged(self):
+        b = KernelBuilder("wasteful")
+        dst = b.ostream("dst")
+        one = b.const(1.0)
+        b.add(one, one, name="orphan")  # tagged pure, value unused
+        b.write(dst, one)
+        diagnostics = verify_kernel(b.build())
+        assert "dead-op" in codes(diagnostics, Severity.WARNING)
+
+    def test_opaque_payload_is_never_dead(self):
+        # Apps pass side-effecting closures (host accumulators); an
+        # untagged functional op must count as an effect, not dead code.
+        b = KernelBuilder("igraph_idiom")
+        src = b.istream("src")
+        value = b.read(src, name="value")
+        b.arith(lambda v: v, value, name="accumulate")
+        kernel = b.build()
+        assert "dead-op" not in codes(verify_kernel(kernel))
+
+    def test_unused_sequential_read_flagged(self):
+        b = KernelBuilder("popper")
+        src = b.istream("src")
+        dst = b.ostream("dst")
+        b.read(src, name="ignored")
+        b.write(dst, b.const(0.0))
+        diagnostics = verify_kernel(b.build())
+        assert "unused-read" in codes(diagnostics, Severity.WARNING)
+
+
+class TestRaise:
+    def test_raise_on_error_carries_diagnostics(self):
+        stray = Op(OpKind.CONST, value=1.0, name="stray")
+        use = Op(OpKind.ARITH, (stray,), payload=lambda x: x, name="use")
+        kernel = Kernel("bad", ops=[use])
+        with pytest.raises(KernelVerifyError) as excinfo:
+            verify_kernel(kernel, raise_on_error=True)
+        assert "operand-not-member" in str(excinfo.value)
+        assert excinfo.value.diagnostics
+
+    def test_warnings_alone_do_not_raise(self):
+        b = KernelBuilder("warn_only")
+        b.istream("unused")
+        dst = b.ostream("dst")
+        b.write(dst, b.const(1.0))
+        diagnostics = verify_kernel(b.build(), raise_on_error=True)
+        assert "stream-unused" in codes(diagnostics)

@@ -11,9 +11,6 @@ import pytest
 from repro.config import (
     all_configs,
     base_config,
-    cache_config,
-    isrf1_config,
-    isrf4_config,
 )
 from repro.apps import fft, filter2d, igraph, rijndael, sort
 

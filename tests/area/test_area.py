@@ -3,7 +3,6 @@
 import pytest
 
 from repro.area import (
-    CMOS13,
     DieModel,
     EnergyModel,
     SrfAreaModel,

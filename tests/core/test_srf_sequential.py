@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import base_config, isrf4_config
 from repro.core.descriptors import StreamDescriptor, StreamKind
-from repro.core.srf import PortDirection, StreamRegisterFile
+from repro.core.srf import StreamRegisterFile
 from repro.errors import SrfError
 
 

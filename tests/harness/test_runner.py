@@ -8,7 +8,6 @@ from repro.config.presets import isrf4_config
 from repro.harness import figures
 from repro.harness.resultcache import ResultCache
 from repro.harness.runner import (
-    EXPERIMENTS,
     FAIL_EXPERIMENT_ENV,
     HANG_EXPERIMENT_ENV,
     ExperimentError,
@@ -22,7 +21,8 @@ from repro.harness.runner import (
 class TestRegistry:
     def test_names_in_report_order(self):
         names = experiment_names()
-        assert names[0] == "table3"
+        assert names[0] == "check"  # the static-analysis gate runs first
+        assert names[1] == "table3"
         assert names[-1] == "trace"
         assert "headline" in names
         assert "fig11" in names and "fig18" in names

@@ -1,6 +1,5 @@
 """Performance-diagnostics: bound analysis matches the paper's reasoning."""
 
-import pytest
 
 from repro.config import base_config, isrf1_config, isrf4_config
 from repro.harness import run_benchmark

@@ -1,6 +1,8 @@
 """Fast-forward equivalence: skipping pure-wait cycles in bulk must be
 invisible in every statistic the paper's figures are built from."""
 
+import re
+
 import pytest
 
 from repro.apps import fft, sort
@@ -96,6 +98,44 @@ class TestDeadlockNotMasked:
         assert error.report is not None
         assert error.report.program == "stuck"
         assert error.report.cycle == proc.cycle
+
+    def _multi_stuck_program(self, proc):
+        prog = StreamProgram("stuck")
+        # Three blocked loads with deliberately unsorted dep lists; the
+        # forensics must come out sorted regardless of insertion order.
+        for name, deps in (("c", [7 * 10**8, 3 * 10**8]),
+                           ("a", [9 * 10**8]),
+                           ("b", [5 * 10**8, 1 * 10**8])):
+            arr = SrfArray(proc.srf, 64, name)
+            region = proc.memory.allocate(64, f"r_{name}")
+            prog.add_memory(load_op(arr.seq_read(), region), deps=deps)
+        for task, deps in zip(
+            prog.tasks,
+            ([7 * 10**8, 3 * 10**8], [9 * 10**8], [5 * 10**8, 1 * 10**8]),
+        ):
+            task.deps = deps
+        prog.validate = lambda: None  # bypass static validation
+        return prog
+
+    def test_forensics_listings_are_deterministic(self):
+        config = base_config().replace(deadlock_cycles=400)
+        texts = []
+        for _ in range(2):
+            proc = StreamProcessor(config)
+            with pytest.raises(DeadlockError) as excinfo:
+                proc.run_program(self._multi_stuck_program(proc))
+            report = excinfo.value.report
+            # Blocked tasks ordered by task id, deps numerically sorted.
+            ids = [task.task_id for task in report.blocked]
+            assert ids == sorted(ids)
+            for task in report.blocked:
+                assert task.missing_deps == sorted(task.missing_deps)
+            assert report.srf_occupancy == sorted(report.srf_occupancy)
+            assert report.inflight_memory == sorted(report.inflight_memory)
+            # Task ids are globally unique across program builds; strip
+            # them so the rendered forensics can be compared run to run.
+            texts.append(re.sub(r"task \d+", "task N", report.describe()))
+        assert texts[0] == texts[1]
 
     def test_report_names_the_blocked_task_and_its_deps(self):
         config = base_config().replace(deadlock_cycles=500)

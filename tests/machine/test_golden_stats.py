@@ -84,6 +84,12 @@ class TestGoldenStats:
         result = fft.run(config, n=FFT_N).require_verified()
         assert fingerprint(result.stats) == golden[preset]
 
+    def test_sanitizer_is_inert(self, golden, preset):
+        """Per-cycle invariant checks must not move a single cycle."""
+        config = all_configs()[preset].replace(sanitize=True)
+        result = fft.run(config, n=FFT_N).require_verified()
+        assert fingerprint(result.stats) == golden[preset]
+
 
 def test_fast_forward_off_matches_fixture(golden):
     """The cycle-loop fast path must be an exact shortcut (spot check)."""

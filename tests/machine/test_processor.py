@@ -1,6 +1,5 @@
 """End-to-end machine tests: functional correctness + timing attribution."""
 
-import pytest
 
 from repro.config import base_config, isrf1_config, isrf4_config
 from repro.core import SrfArray
