@@ -1,0 +1,45 @@
+"""Wall-clock measurement of the scalar vs vector execution backends.
+
+Each workload runs once per backend under pytest-benchmark; the
+committed ``BENCH_BASELINE.json`` pins the *vector/scalar wall-clock
+ratio* per workload and ``tools/bench_gate.py`` fails if the measured
+ratio regresses by more than the configured tolerance. Gating on the
+ratio rather than absolute seconds makes the gate machine-independent:
+a slow CI runner scales both backends alike, but a change that slows
+the vector engine (or breaks its steady-state fast-forward) moves the
+ratio.
+
+The workloads are chosen to exercise the engine's distinct paths:
+FFT's tagged arithmetic (ufunc batching), Filter's indexed streams
+(address batching + steady-state skip), and Rijndael's long carry
+cones (the serial per-iteration path).
+"""
+
+import pytest
+
+from repro.apps import fft, filter2d, rijndael
+from repro.config.presets import isrf4_config
+
+WORKLOADS = {
+    "fft32": lambda config: fft.run(config, n=32, repeats=1),
+    "filter64": lambda config: filter2d.run(config, height=64, width=64,
+                                            repeats=1),
+    "rijndael8": lambda config: rijndael.run(config, blocks_per_lane=8,
+                                             repeats=1),
+}
+
+#: Rounds per measurement; the gate uses the minimum, so several rounds
+#: shield the ratio from one-off scheduler noise.
+ROUNDS = 5
+
+
+@pytest.mark.parametrize("backend", ["scalar", "vector"])
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_backend_speed(benchmark, workload, backend):
+    config = isrf4_config(backend=backend)
+    runner = WORKLOADS[workload]
+    result = benchmark.pedantic(
+        runner, args=(config,), rounds=ROUNDS, iterations=1,
+        warmup_rounds=1,
+    )
+    result.require_verified()

@@ -23,6 +23,9 @@ WORD_BYTES = 4
 #: Word-level protection schemes modelled for the SRF and main memory.
 PROTECTION_KINDS = ("none", "parity", "secded")
 
+#: Functional-evaluation backends (see :attr:`MachineConfig.backend`).
+BACKEND_KINDS = ("scalar", "vector")
+
 
 class SrfMode(enum.Enum):
     """How the SRF may be accessed in a given machine configuration."""
@@ -102,6 +105,15 @@ class MachineConfig:
     indexed_arbitration: str = "round_robin"
 
     # --- Simulation knobs (not machine parameters) ----------------------
+    #: Functional-evaluation backend: "scalar" steps each lane's cluster
+    #: one value at a time (the reference engine); "vector" evaluates
+    #: kernel iterations lane-batched as NumPy array operations (see
+    #: :mod:`repro.machine.vector`), falling back to scalar for kernels
+    #: it cannot cover (read-write indexed streams) and for faulted
+    #: runs. The backends produce bit-identical :class:`ProgramStats`;
+    #: "vector" is purely a simulation speed knob, not a machine
+    #: parameter.
+    backend: str = "scalar"
     #: Abort a run after this many cycles without forward progress (a bug
     #: in the program or the model). ``None`` uses the simulator default
     #: (:data:`repro.machine.processor.DEADLOCK_CYCLES`).
@@ -228,6 +240,19 @@ class MachineConfig:
         return self.srf_mode is SrfMode.INDEXED
 
     @property
+    def faults_enabled(self) -> bool:
+        """True when any fault-injection counter is non-zero.
+
+        Faulted runs pin the scalar backend and per-cycle stepping of
+        the kernel loop, keeping fault-event interleaving byte-for-byte
+        reproducible against the seed fixtures.
+        """
+        return any((
+            self.fault_srf_flips, self.fault_dram_flips,
+            self.fault_crossbar_drops, self.fault_memory_delays,
+        ))
+
+    @property
     def cache_lines(self) -> int:
         """Total number of cache lines."""
         return self.cache_bytes // (self.cache_line_words * WORD_BYTES)
@@ -297,6 +322,11 @@ class MachineConfig:
         if self.indexed_arbitration not in ("round_robin", "occupancy"):
             raise ConfigurationError(
                 f"unknown arbitration policy {self.indexed_arbitration!r}"
+            )
+        if self.backend not in BACKEND_KINDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r} "
+                f"(known: {', '.join(BACKEND_KINDS)})"
             )
         if self.deadlock_cycles is not None and self.deadlock_cycles <= 0:
             raise ConfigurationError("deadlock_cycles must be positive")

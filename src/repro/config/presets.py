@@ -19,9 +19,30 @@ stream buffers.
 
 from __future__ import annotations
 
-from repro.config.machine import MachineConfig, SrfMode
+import os
+
+from repro.config.machine import BACKEND_KINDS, MachineConfig, SrfMode
+from repro.errors import ConfigurationError
 from repro.faults.plan import fault_overrides_from_env
 from repro.observe.observer import trace_overrides_from_env
+
+#: Environment variable overlaying the functional-evaluation backend
+#: ("scalar" / "vector") onto every preset — how the harness CLI's
+#: ``--backend`` flag reaches forked worker processes.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+def backend_overrides_from_env() -> dict:
+    """Backend override from ``REPRO_BACKEND``, empty when unset."""
+    value = os.environ.get(BACKEND_ENV)
+    if value is None or value == "":
+        return {}
+    if value not in BACKEND_KINDS:
+        raise ConfigurationError(
+            f"{BACKEND_ENV}={value!r}: unknown backend "
+            f"(known: {', '.join(BACKEND_KINDS)})"
+        )
+    return {"backend": value}
 
 
 def _finish(cfg: MachineConfig, overrides: dict) -> MachineConfig:
@@ -33,11 +54,13 @@ def _finish(cfg: MachineConfig, overrides: dict) -> MachineConfig:
     under injected faults without touching any call site; explicit
     keyword overrides still win. ``REPRO_TRACE`` (see
     :func:`repro.observe.trace_overrides_from_env`) does the same for
-    the observability knobs.
+    the observability knobs, and ``REPRO_BACKEND`` for the functional
+    evaluation backend (:attr:`MachineConfig.backend`).
     """
     merged = {
         **fault_overrides_from_env(),
         **trace_overrides_from_env(),
+        **backend_overrides_from_env(),
         **overrides,
     }
     return cfg.replace(**merged) if merged else _validated(cfg)

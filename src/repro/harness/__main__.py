@@ -18,8 +18,11 @@ aborting on the first failure.
 from __future__ import annotations
 
 import json
+import os
 import sys
 
+from repro.config.machine import BACKEND_KINDS
+from repro.config.presets import BACKEND_ENV
 from repro.harness import figures, runner
 from repro.harness.resultcache import default_cache_dir
 
@@ -38,12 +41,17 @@ options:
   --no-cache       disable the on-disk cache for this run
   --trace-path P   output file of the `trace` experiment
                    (default repro-trace.json; load in Perfetto)
+  --backend B      functional-evaluation backend for every machine
+                   config: scalar (reference) or vector (lane-batched
+                   NumPy; bit-identical stats, faster). Equivalent to
+                   setting REPRO_BACKEND.
   --list           list experiment names and exit
 
 Workload scale is chosen by the REPRO_SCALE environment variable
 (small / medium / paper; default small). REPRO_TRACE overlays
 observability knobs on every machine config
-(e.g. REPRO_TRACE="trace=1,metrics=2,profile=64")."""
+(e.g. REPRO_TRACE="trace=1,metrics=2,profile=64"); REPRO_BACKEND
+overlays the evaluation backend the same way."""
 
 
 def _usage() -> str:
@@ -73,13 +81,13 @@ def _parse_args(argv):
     """Split argv into (names, options) or raise ValueError."""
     options = {"json": None, "jobs": 1, "cache_dir": default_cache_dir(),
                "no_cache": False, "list": False, "timeout": None,
-               "fail_fast": False, "trace_path": None}
+               "fail_fast": False, "trace_path": None, "backend": None}
     names = []
     position = 0
     while position < len(argv):
         token = argv[position]
         if token in ("--json", "--jobs", "--cache-dir", "--timeout",
-                     "--trace-path"):
+                     "--trace-path", "--backend"):
             if position + 1 >= len(argv):
                 raise ValueError(f"{token} requires a value")
             value = argv[position + 1]
@@ -89,6 +97,13 @@ def _parse_args(argv):
                 options["cache_dir"] = value
             elif token == "--trace-path":
                 options["trace_path"] = value
+            elif token == "--backend":
+                if value not in BACKEND_KINDS:
+                    raise ValueError(
+                        f"--backend must be one of "
+                        f"{', '.join(BACKEND_KINDS)}; got {value!r}"
+                    )
+                options["backend"] = value
             elif token == "--timeout":
                 try:
                     options["timeout"] = float(value)
@@ -147,6 +162,10 @@ def main(argv=None) -> int:
         else known
 
     cache_dir = None if options["no_cache"] else options["cache_dir"]
+    # Backend travels via the environment: forked workers inherit it,
+    # and the preset factories overlay it onto every machine config.
+    if options["backend"] is not None:
+        os.environ[BACKEND_ENV] = options["backend"]
     # Forked workers inherit the path, so isolated runs see it too.
     figures.set_trace_path(options["trace_path"])
     scale = figures.default_scale()

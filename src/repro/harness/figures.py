@@ -31,6 +31,7 @@ from repro.area.floorplan import DieModel
 from repro.area.sram import SrfAreaModel
 from repro.config.presets import all_configs, base_config, isrf4_config
 from repro.harness.report import render_grid, render_table
+from repro.harness.resultcache import config_fingerprint
 from repro.kernel.resources import ClusterResources
 from repro.kernel.scheduler import ModuloScheduler
 
@@ -101,9 +102,11 @@ def trace_output_path() -> str:
 
 def run_benchmark(name: str, config, scale: str) -> AppResult:
     """Run (and cache) one benchmark on one machine configuration."""
-    # Key on the full config repr: name alone would alias derived
-    # variants (e.g. separation sweeps or fast_forward toggles).
-    key = (name, repr(config), scale)
+    # Key on a fingerprint of every config field: the config *name*
+    # alone would alias derived variants (separation sweeps,
+    # fast_forward or backend toggles), and repr() would miss any
+    # field declared with repr=False.
+    key = (name, config_fingerprint(config), scale)
     if key in _run_cache:
         return _run_cache[key]
     if _result_cache is not None:

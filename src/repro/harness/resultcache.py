@@ -7,18 +7,34 @@ repeat runs — and the worker processes of the parallel runner — can skip
 the simulation entirely.
 
 Keys combine a *code fingerprint* (a hash over every ``repro`` source
-file) with the benchmark name, the full machine configuration ``repr``,
-and the workload scale, so any source change or config tweak invalidates
-the cache automatically. Deleting the cache directory (default
-``.repro-cache``, overridable via ``REPRO_CACHE_DIR``) is always safe.
+file) with the benchmark name, a :func:`config_fingerprint` over EVERY
+field of the machine configuration, and the workload scale, so any
+source change or config tweak invalidates the cache automatically.
+Deleting the cache directory (default ``.repro-cache``, overridable via
+``REPRO_CACHE_DIR``) is always safe.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import pickle
 import tempfile
+
+
+def config_fingerprint(config) -> str:
+    """Deterministic text form of EVERY config field, for cache keys.
+
+    Built from :func:`dataclasses.asdict` rather than ``repr(config)``:
+    a repr silently omits any field declared with ``repr=False``, so two
+    configs differing only in such a field would alias each other's
+    cache entries — the bug class this function exists to close. New
+    fields are picked up automatically; no hand-maintained tuple to
+    forget to extend.
+    """
+    fields = dataclasses.asdict(config)
+    return repr(sorted(fields.items()))
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -70,7 +86,8 @@ class ResultCache:
     def key(self, benchmark: str, config, scale: str) -> str:
         """Stable key for one (benchmark, config, scale) triple."""
         payload = "\n".join(
-            [self._fingerprint, benchmark, repr(config), scale]
+            [self._fingerprint, benchmark, config_fingerprint(config),
+             scale]
         )
         return hashlib.sha256(payload.encode()).hexdigest()
 

@@ -17,7 +17,12 @@ graceful degradation with ``fail_fast=True``, which aborts on the first
 unrecoverable failure.
 
 Workload scale is selected by the ``REPRO_SCALE`` environment variable
-(as everywhere else in the harness); forked workers inherit it.
+(as everywhere else in the harness); forked workers inherit it. The
+functional-evaluation backend is selected the same way via
+``REPRO_BACKEND`` (the CLI's ``--backend`` flag sets it), so workers
+simulate on the scalar or vector engine uniformly — and since the
+backend is a :class:`~repro.config.machine.MachineConfig` field, it is
+part of every result-cache key.
 """
 
 from __future__ import annotations

@@ -29,6 +29,7 @@ from repro.kernel.ops import OpKind
 from repro.kernel.schedule import StaticSchedule
 from repro.machine.program import KernelInvocation
 from repro.machine.stats import KernelRunStats
+from repro.machine.vector import VectorKernelInterpreter, vector_supported
 
 #: Fixed per-invocation cost of loading kernel microcode and priming the
 #: stream units (part of Figure 12's "kernel overheads").
@@ -205,9 +206,23 @@ class KernelExecutor:
         self._bind_streams()
         if invocation.on_start is not None:
             invocation.on_start()
-        self._interpreter = KernelInterpreter(
-            invocation.kernel, config.lanes, _SrfBackedContext(self)
+        #: Whether this invocation runs on the lane-batched vector
+        #: engine. Faulted runs and kernels with read-write indexed
+        #: streams always fall back to the scalar reference engine.
+        self.vector_active = (
+            config.backend == "vector"
+            and not config.faults_enabled
+            and vector_supported(invocation.kernel)
         )
+        if self.vector_active:
+            self._interpreter = VectorKernelInterpreter(
+                invocation.kernel, config.lanes, _SrfBackedContext(self),
+                invocation.iterations,
+            )
+        else:
+            self._interpreter = KernelInterpreter(
+                invocation.kernel, config.lanes, _SrfBackedContext(self)
+            )
         self._timed_ops = schedule.timed_stream_ops()
         self._heap = []
         self._sequence = itertools.count()
@@ -342,6 +357,38 @@ class KernelExecutor:
             )
         self.stats.total_cycles += cycles
         self._startup_remaining -= cycles
+
+    def next_quiet_cycles(self) -> int:
+        """Cycles until this executor next does anything but wait.
+
+        A *quiet* cycle is one where :meth:`step` would issue no
+        iteration, fire no event and finish nothing — it only advances
+        ``total_cycles`` and virtual time. The next non-quiet cycle is
+        the earlier of the next iteration issue (``issued * ii``) and
+        the earliest pending event; 0 means the very next step may do
+        real work (or the kernel is starting up, draining, or done,
+        where per-cycle stepping is required).
+        """
+        if self.finished or self._startup_remaining > 0:
+            return 0
+        candidates = []
+        if self._issued < self.invocation.iterations:
+            candidates.append(self._issued * self.schedule.ii)
+        if self._heap:
+            candidates.append(self._heap[0][0])
+        if not candidates:
+            return 0  # draining: flush/quiescence checks run per cycle
+        return max(0, min(candidates) - self._vt)
+
+    def fast_forward_steady(self, cycles: int) -> None:
+        """Consume ``cycles`` quiet steady-state cycles in bulk.
+
+        Only valid for ``cycles <= next_quiet_cycles()``: each skipped
+        step would have bumped ``total_cycles`` and virtual time and
+        done nothing else, so this is bit-identical to stepping.
+        """
+        self.stats.total_cycles += cycles
+        self._vt += cycles
 
     def step(self) -> bool:
         """Advance one machine cycle; returns comm_busy for this cycle.

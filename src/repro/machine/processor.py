@@ -279,6 +279,32 @@ class StreamProcessor:
                             mem_waiting, kernel_waiting, running, completed,
                         )
                     continue
+            elif (
+                use_fast_forward and running is not None
+                and running[1].vector_active
+            ):
+                # Steady-state skip inside a running kernel (vector
+                # backend only): stretches where the executor provably
+                # just counts cycles between software-pipeline events
+                # and no other component can change state.
+                skip = self._steady_forward_window(
+                    running[1], progressed, last_progress_cycle, limit
+                )
+                if skip > 0:
+                    self.controller.fast_forward(skip)
+                    self.srf.fast_forward(skip)
+                    running[1].fast_forward_steady(skip)
+                    if profiler is not None:
+                        profiler.sample_window(self.cycle, skip, "kernel")
+                    if progressed:
+                        last_progress_cycle = self.cycle + 1
+                    self.cycle += skip
+                    if self.cycle - last_progress_cycle > limit:
+                        raise self._deadlock(
+                            program, limit, remaining_count,
+                            mem_waiting, kernel_waiting, running, completed,
+                        )
+                    continue
 
             # One machine cycle.
             if profiler is not None:
@@ -405,6 +431,37 @@ class StreamProcessor:
             candidates.append(srf_next)
         if running is not None:
             candidates.append(cycle + running[1].startup_remaining)
+        return max(0, min(candidates) - cycle)
+
+    def _steady_forward_window(self, executor, progressed: bool,
+                               last_progress_cycle: int, limit: int) -> int:
+        """Cycles skippable inside a running kernel's steady state.
+
+        A cycle qualifies when the executor's next step would be *quiet*
+        (no issue, no due event — see
+        :meth:`KernelExecutor.next_quiet_cycles`) and neither the memory
+        controller nor the SRF can change state, so every skipped cycle
+        would only have bumped counters. Capped at the deadlock horizon
+        so a stuck program aborts on exactly the same cycle as per-cycle
+        stepping.
+        """
+        quiet = executor.next_quiet_cycles()
+        if quiet <= 0:
+            return 0
+        cycle = self.cycle
+        mem_next = self.controller.next_event_cycle(cycle)
+        if mem_next == cycle:
+            return 0
+        srf_next = self.srf.next_event_cycle(cycle)
+        if srf_next is not None and srf_next <= cycle:
+            return 0
+        effective_progress = cycle + 1 if progressed else last_progress_cycle
+        horizon = effective_progress + limit  # last no-progress tick
+        candidates = [horizon + 1, cycle + quiet]
+        if mem_next is not None:
+            candidates.append(mem_next)
+        if srf_next is not None:
+            candidates.append(srf_next)
         return max(0, min(candidates) - cycle)
 
     def run_programs(self, programs) -> list:

@@ -1,0 +1,22 @@
+"""Hypothesis configuration for the fuzzing suite.
+
+Example counts are environment-scalable so the same tests serve two
+jobs: the developer tier (default, a few dozen examples, runs inside
+the normal test suite) and the CI fuzz job, which sets
+``REPRO_FUZZ_EXAMPLES=1000`` for the deep sweep. ``derandomize=True``
+fixes the random seed, so a CI failure reproduces locally with the
+same environment variable — no flaky fuzzing.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro-fuzz",
+    deadline=None,  # wall-clock budget is managed per-job, not per-example
+    derandomize=True,
+    database=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.filter_too_much,
+                           HealthCheck.data_too_large],
+)
+settings.load_profile("repro-fuzz")

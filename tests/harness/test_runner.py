@@ -1,12 +1,14 @@
 """The experiment registry, parallel runner, and on-disk result cache."""
 
+import dataclasses
 import os
 
 import pytest
 
+from repro.config.machine import MachineConfig
 from repro.config.presets import isrf4_config
 from repro.harness import figures
-from repro.harness.resultcache import ResultCache
+from repro.harness.resultcache import ResultCache, config_fingerprint
 from repro.harness.runner import (
     FAIL_EXPERIMENT_ENV,
     HANG_EXPERIMENT_ENV,
@@ -148,6 +150,27 @@ class TestResultCache:
         variant = config.replace(fast_forward=False)
         assert cache.key("a", config, "small") != cache.key("a", variant,
                                                             "small")
+        backend = config.replace(backend="vector")
+        assert cache.key("a", config, "small") != cache.key("a", backend,
+                                                            "small")
+
+    def test_key_sees_repr_hidden_fields(self, tmp_path):
+        """Regression: keys were built from ``repr(config)``, which
+        silently drops any field declared with ``repr=False`` — two
+        different configs aliased to the same cache entry. The key must
+        fingerprint every dataclass field."""
+
+        @dataclasses.dataclass(frozen=True)
+        class HiddenKnobConfig(MachineConfig):
+            hidden_knob: int = dataclasses.field(default=0, repr=False)
+
+        plain = HiddenKnobConfig()
+        knobbed = HiddenKnobConfig(hidden_knob=1)
+        assert repr(plain) == repr(knobbed)  # repr cannot tell them apart
+        assert config_fingerprint(plain) != config_fingerprint(knobbed)
+        cache = ResultCache(str(tmp_path))
+        assert (cache.key("a", plain, "small")
+                != cache.key("a", knobbed, "small"))
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(str(tmp_path))

@@ -90,6 +90,25 @@ class TestGoldenStats:
         result = fft.run(config, n=FFT_N).require_verified()
         assert fingerprint(result.stats) == golden[preset]
 
+    def test_vector_backend_is_inert(self, golden, preset):
+        """The vector execution backend is a pure simulation-speed knob:
+        it must reproduce the *scalar-generated* fixture bit-for-bit,
+        not merely be self-consistent."""
+        config = all_configs()[preset].replace(backend="vector")
+        result = fft.run(config, n=FFT_N).require_verified()
+        assert fingerprint(result.stats) == golden[preset]
+
+    def test_vector_backend_with_observability_is_inert(self, golden,
+                                                        preset):
+        """Steady-state fast-forward windows charge the profiler and
+        metrics exactly like per-cycle ticking does."""
+        config = all_configs()[preset].replace(
+            backend="vector", trace=True, metrics_level=2,
+            profile_sample_period=64,
+        )
+        result = fft.run(config, n=FFT_N).require_verified()
+        assert fingerprint(result.stats) == golden[preset]
+
 
 def test_fast_forward_off_matches_fixture(golden):
     """The cycle-loop fast path must be an exact shortcut (spot check)."""

@@ -1,0 +1,173 @@
+"""Vector-backend performance regression gate.
+
+Measures ``benchmarks/bench_headline_claims.py`` wall-clock under
+pytest-benchmark on both backends (via the ``REPRO_BACKEND`` overlay),
+plus the per-engine-path workloads in
+``benchmarks/bench_backend_speed.py`` as diagnostics, and compares the
+headline vector/scalar ratio against the committed
+``BENCH_BASELINE.json``:
+
+    PYTHONPATH=src python tools/bench_gate.py            # gate
+    PYTHONPATH=src python tools/bench_gate.py --update   # re-baseline
+
+The gate fails when the headline ratio exceeds ``baseline_ratio * (1 +
+tolerance)`` — i.e. the vector backend got more than ``tolerance``
+(default 20%) slower *relative to the scalar backend on the same
+machine*. Gating on the ratio rather than absolute seconds makes the
+gate machine-independent (a slow CI runner scales both backends
+alike); gating on the headline benchmark makes it representative (all
+eight apps, both access modes). Each backend's headline time is the
+best of two fresh processes and the diagnostic workloads use
+best-of-five rounds, so one noisy round cannot fail the gate or bake a
+skewed baseline. Re-baseline deliberately with ``--update`` after an
+intentional engine or timing-model change.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO, "BENCH_BASELINE.json")
+SPEED_FILE = os.path.join(REPO, "benchmarks", "bench_backend_speed.py")
+HEADLINE_FILE = os.path.join(REPO, "benchmarks",
+                             "bench_headline_claims.py")
+
+#: Fresh processes per backend for the headline measurement; the gate
+#: uses the best, shielding the ratio from one-off machine noise.
+HEADLINE_RUNS = 2
+
+
+def _pytest_benchmark(bench_file: str, extra_env=None) -> dict:
+    """Run one benchmark file; returns the parsed pytest-benchmark JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out_path = os.path.join(tmp, "bench.json")
+        env = dict(os.environ)
+        env.update(extra_env or {})
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO, "src"),
+                        env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", bench_file, "-q",
+             "-p", "no:cacheprovider",
+             f"--benchmark-json={out_path}"],
+            cwd=REPO, env=env,
+        )
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed: {bench_file}")
+        with open(out_path) as handle:
+            return json.load(handle)
+
+
+def run_benchmarks() -> dict:
+    """Measure everything; returns workload -> backend -> min seconds.
+
+    The gated ``headline`` workload is timed in a fresh process per
+    backend (the ``REPRO_BACKEND`` overlay steers every preset), best
+    of :data:`HEADLINE_RUNS`; the diagnostic engine-path workloads come
+    from one in-process sweep of ``bench_backend_speed.py``.
+    """
+    timings = {"headline": {}}
+    for backend in ("scalar", "vector"):
+        best = None
+        for _ in range(HEADLINE_RUNS):
+            payload = _pytest_benchmark(
+                HEADLINE_FILE, {"REPRO_BACKEND": backend}
+            )
+            [bench] = payload["benchmarks"]
+            seconds = bench["stats"]["min"]
+            best = seconds if best is None else min(best, seconds)
+        timings["headline"][backend] = best
+    for bench in _pytest_benchmark(SPEED_FILE)["benchmarks"]:
+        workload = bench["params"]["workload"]
+        backend = bench["params"]["backend"]
+        timings.setdefault(workload, {})[backend] = bench["stats"]["min"]
+    return timings
+
+
+def ratios_of(timings: dict) -> dict:
+    return {
+        workload: backends["vector"] / backends["scalar"]
+        for workload, backends in sorted(timings.items())
+    }
+
+
+def gate(timings: dict, baseline: dict) -> int:
+    tolerance = baseline.get("tolerance", 0.20)
+    measured = ratios_of(timings)
+    print(f"{'workload':<12} {'scalar s':>9} {'vector s':>9} "
+          f"{'ratio':>7} {'baseline':>9}")
+    for workload, ratio in measured.items():
+        base = baseline["ratios"].get(workload)
+        print(f"{workload:<12} {timings[workload]['scalar']:>9.3f} "
+              f"{timings[workload]['vector']:>9.3f} {ratio:>7.3f} "
+              f"{base if base is not None else float('nan'):>9.3f}")
+    headline = measured["headline"]
+    base_headline = baseline["ratios"]["headline"]
+    limit = base_headline * (1 + tolerance)
+    print(f"\nheadline vector/scalar ratio: {headline:.3f} "
+          f"(baseline {base_headline:.3f}, limit {limit:.3f})")
+    if headline > limit:
+        print(f"FAIL: vector backend regressed beyond {tolerance:.0%} "
+              "on bench_headline_claims")
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+def update(timings: dict) -> None:
+    ratios = ratios_of(timings)
+    baseline = {
+        "_comment": (
+            "Vector-backend speed baseline; see tools/bench_gate.py. "
+            "Gated metric: the 'headline' vector/scalar wall-clock "
+            "ratio (machine-independent); other workloads and "
+            "recorded_seconds are diagnostic."
+        ),
+        "tolerance": 0.20,
+        "ratios": {w: round(r, 3) for w, r in ratios.items()},
+        "recorded_seconds": {
+            workload: {backend: round(seconds, 3)
+                       for backend, seconds in sorted(backends.items())}
+            for workload, backends in sorted(timings.items())
+        },
+    }
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {BASELINE_PATH}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite BENCH_BASELINE.json from this run")
+    args = parser.parse_args()
+    timings = run_benchmarks()
+    if args.update:
+        # Measure twice, keep the per-cell best: one outlier round on a
+        # busy machine must not bake a skewed ratio into the baseline.
+        second = run_benchmarks()
+        for workload, backends in second.items():
+            for backend, seconds in backends.items():
+                timings[workload][backend] = min(
+                    timings[workload][backend], seconds
+                )
+        update(timings)
+        return 0
+    try:
+        with open(BASELINE_PATH) as handle:
+            baseline = json.load(handle)
+    except OSError:
+        raise SystemExit(
+            f"missing {BASELINE_PATH}; run with --update to create it"
+        )
+    return gate(timings, baseline)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
