@@ -26,6 +26,10 @@ PROTECTION_KINDS = ("none", "parity", "secded")
 #: Functional-evaluation backends (see :attr:`MachineConfig.backend`).
 BACKEND_KINDS = ("scalar", "vector")
 
+#: Where the timing model gets each kernel iteration's stream-access
+#: details (see :attr:`MachineConfig.timing_source`).
+TIMING_SOURCES = ("execute", "replay")
+
 
 class SrfMode(enum.Enum):
     """How the SRF may be accessed in a given machine configuration."""
@@ -114,6 +118,17 @@ class MachineConfig:
     #: "vector" is purely a simulation speed knob, not a machine
     #: parameter.
     backend: str = "scalar"
+    #: Where the timing model gets each kernel iteration's stream-access
+    #: details: "execute" evaluates the kernel functionally at issue (the
+    #: default, and the only mode that produces a trace); "replay"
+    #: re-drives the full timing model (processor, SRF arbitration,
+    #: crossbar, DRAM) from a trace recorded by an earlier run with an
+    #: identical *functional* configuration (see
+    #: :mod:`repro.machine.replay`), skipping kernel re-execution across
+    #: timing-only config sweeps. Stats are bit-identical either way;
+    #: replay requires an active :func:`repro.machine.replay.session`
+    #: (without one, or under fault injection, runs execute normally).
+    timing_source: str = "execute"
     #: Abort a run after this many cycles without forward progress (a bug
     #: in the program or the model). ``None`` uses the simulator default
     #: (:data:`repro.machine.processor.DEADLOCK_CYCLES`).
@@ -327,6 +342,11 @@ class MachineConfig:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r} "
                 f"(known: {', '.join(BACKEND_KINDS)})"
+            )
+        if self.timing_source not in TIMING_SOURCES:
+            raise ConfigurationError(
+                f"unknown timing_source {self.timing_source!r} "
+                f"(known: {', '.join(TIMING_SOURCES)})"
             )
         if self.deadlock_cycles is not None and self.deadlock_cycles <= 0:
             raise ConfigurationError("deadlock_cycles must be positive")

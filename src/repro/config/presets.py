@@ -45,6 +45,31 @@ def backend_overrides_from_env() -> dict:
     return {"backend": value}
 
 
+#: Environment variable overlaying the timing source
+#: (:attr:`MachineConfig.timing_source`) onto every preset — how the
+#: harness CLI's ``--replay`` flag reaches forked worker processes.
+REPLAY_ENV = "REPRO_REPLAY"
+
+
+def replay_overrides_from_env() -> dict:
+    """Timing-source override from ``REPRO_REPLAY``, empty when unset.
+
+    ``1``/``replay`` select trace-replay timing, ``0``/``execute``
+    explicitly select functional execution (useful to countermand a
+    value exported by a wrapper script).
+    """
+    value = os.environ.get(REPLAY_ENV)
+    if value is None or value == "":
+        return {}
+    if value in ("1", "replay"):
+        return {"timing_source": "replay"}
+    if value in ("0", "execute"):
+        return {"timing_source": "execute"}
+    raise ConfigurationError(
+        f"{REPLAY_ENV}={value!r}: expected 1/replay or 0/execute"
+    )
+
+
 def _finish(cfg: MachineConfig, overrides: dict) -> MachineConfig:
     """Apply env overrides, then explicit ones, and validate.
 
@@ -54,13 +79,16 @@ def _finish(cfg: MachineConfig, overrides: dict) -> MachineConfig:
     under injected faults without touching any call site; explicit
     keyword overrides still win. ``REPRO_TRACE`` (see
     :func:`repro.observe.trace_overrides_from_env`) does the same for
-    the observability knobs, and ``REPRO_BACKEND`` for the functional
-    evaluation backend (:attr:`MachineConfig.backend`).
+    the observability knobs, ``REPRO_BACKEND`` for the functional
+    evaluation backend (:attr:`MachineConfig.backend`), and
+    ``REPRO_REPLAY`` for the timing source
+    (:attr:`MachineConfig.timing_source`).
     """
     merged = {
         **fault_overrides_from_env(),
         **trace_overrides_from_env(),
         **backend_overrides_from_env(),
+        **replay_overrides_from_env(),
         **overrides,
     }
     return cfg.replace(**merged) if merged else _validated(cfg)

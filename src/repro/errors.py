@@ -100,3 +100,14 @@ class SanitizerError(ExecutionError):
 
 class MemorySystemError(ReproError):
     """An illegal memory-system request was issued."""
+
+
+class ReplayError(ReproError):
+    """A recorded kernel trace does not match the run replaying it.
+
+    Raised by :mod:`repro.machine.replay` when a trace bundle disagrees
+    with the program being re-timed — wrong program shape, kernel name,
+    iteration count or stream-op signature. Always indicates a stale or
+    foreign trace (the store keys should have prevented the pairing),
+    never a timing divergence.
+    """

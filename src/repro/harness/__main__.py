@@ -22,7 +22,7 @@ import os
 import sys
 
 from repro.config.machine import BACKEND_KINDS
-from repro.config.presets import BACKEND_ENV
+from repro.config.presets import BACKEND_ENV, REPLAY_ENV
 from repro.harness import figures, runner
 from repro.harness.resultcache import default_cache_dir
 
@@ -45,6 +45,11 @@ options:
                    config: scalar (reference) or vector (lane-batched
                    NumPy; bit-identical stats, faster). Equivalent to
                    setting REPRO_BACKEND.
+  --replay         trace-replay timing mode: record each benchmark's
+                   kernel data once, then re-time later runs and config
+                   sweeps from the recorded trace (bit-identical
+                   stats). Traces live in <cache-dir>/traces.
+                   Equivalent to setting REPRO_REPLAY=1.
   --list           list experiment names and exit
 
 Workload scale is chosen by the REPRO_SCALE environment variable
@@ -81,7 +86,8 @@ def _parse_args(argv):
     """Split argv into (names, options) or raise ValueError."""
     options = {"json": None, "jobs": 1, "cache_dir": default_cache_dir(),
                "no_cache": False, "list": False, "timeout": None,
-               "fail_fast": False, "trace_path": None, "backend": None}
+               "fail_fast": False, "trace_path": None, "backend": None,
+               "replay": False}
     names = []
     position = 0
     while position < len(argv):
@@ -127,6 +133,8 @@ def _parse_args(argv):
             continue
         if token == "--no-cache":
             options["no_cache"] = True
+        elif token == "--replay":
+            options["replay"] = True
         elif token == "--fail-fast":
             options["fail_fast"] = True
         elif token == "--list":
@@ -160,12 +168,23 @@ def main(argv=None) -> int:
         return _fail(f"unknown experiment(s): {', '.join(unknown)}")
     selected = [name for name in known if name in set(names)] if names \
         else known
+    if options["json"] is not None:
+        # Validate up front: discovering a bad path only after every
+        # experiment ran would discard all their results.
+        json_dir = os.path.dirname(os.path.abspath(options["json"]))
+        if not os.path.isdir(json_dir):
+            return _fail(
+                f"--json: directory {json_dir!r} does not exist"
+            )
 
     cache_dir = None if options["no_cache"] else options["cache_dir"]
     # Backend travels via the environment: forked workers inherit it,
     # and the preset factories overlay it onto every machine config.
     if options["backend"] is not None:
         os.environ[BACKEND_ENV] = options["backend"]
+    # So does the replay timing source.
+    if options["replay"]:
+        os.environ[REPLAY_ENV] = "1"
     # Forked workers inherit the path, so isolated runs see it too.
     figures.set_trace_path(options["trace_path"])
     scale = figures.default_scale()

@@ -56,6 +56,12 @@ _run_cache = {}
 #: installed by the CLI / parallel runner via :func:`set_result_cache`.
 _result_cache = None
 
+#: On-disk store of recorded kernel traces for replay-mode configs
+#: (see :mod:`repro.machine.replay`), installed by the parallel runner
+#: via :func:`set_trace_store`; created lazily under the default cache
+#: directory the first time a replay-mode benchmark runs without one.
+_trace_store = None
+
 
 def default_scale() -> str:
     scale = os.environ.get("REPRO_SCALE", "small")
@@ -72,6 +78,21 @@ def set_result_cache(cache) -> None:
     """Install (or with None, remove) a disk cache behind run_benchmark."""
     global _result_cache
     _result_cache = cache
+
+
+def set_trace_store(store) -> None:
+    """Install (or with None, remove) the replay trace store."""
+    global _trace_store
+    _trace_store = store
+
+
+def _replay_store():
+    global _trace_store
+    if _trace_store is None:
+        from repro.machine.replay import TraceStore
+
+        _trace_store = TraceStore()
+    return _trace_store
 
 
 #: Explicit trace output path (CLI ``--trace-path``); overrides the
@@ -114,6 +135,26 @@ def run_benchmark(name: str, config, scale: str) -> AppResult:
         if cached is not None:
             _run_cache[key] = cached
             return cached
+    if config.timing_source == "replay" and not config.faults_enabled:
+        # Record the kernel trace on the first run of a functional
+        # config; replay it on every later one (including under
+        # different timing-only parameters). The trace is saved only
+        # after the result verified — an unverified run publishes
+        # nothing. Faulted configs always execute (flips change data).
+        from repro.machine import replay
+
+        with replay.session(_replay_store(), name, config, scale):
+            result = _simulate(name, config, scale)
+    else:
+        result = _simulate(name, config, scale)
+    _run_cache[key] = result
+    if _result_cache is not None:
+        _result_cache.put(name, config, scale, result)
+    return result
+
+
+def _simulate(name: str, config, scale: str) -> AppResult:
+    """Simulate one benchmark fresh and verify it (no caches)."""
     params = SCALES[scale]
     if name == "FFT 2D":
         result = fft.run(config, n=params["fft_n"])
@@ -132,9 +173,6 @@ def run_benchmark(name: str, config, scale: str) -> AppResult:
     else:
         raise ValueError(f"unknown benchmark {name!r}")
     result.require_verified()
-    _run_cache[key] = result
-    if _result_cache is not None:
-        _result_cache.put(name, config, scale, result)
     return result
 
 

@@ -12,29 +12,30 @@ field of the machine configuration, and the workload scale, so any
 source change or config tweak invalidates the cache automatically.
 Deleting the cache directory (default ``.repro-cache``, overridable via
 ``REPRO_CACHE_DIR``) is always safe.
+
+Both fingerprints live in :mod:`repro.fingerprint` (shared with the
+kernel trace store of :mod:`repro.machine.replay`) and are re-exported
+here for compatibility; the code fingerprint is memoized per process,
+so constructing a second :class:`ResultCache` does no file I/O.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import os
 import pickle
 import tempfile
 
+from repro.fingerprint import code_fingerprint, config_fingerprint
 
-def config_fingerprint(config) -> str:
-    """Deterministic text form of EVERY config field, for cache keys.
-
-    Built from :func:`dataclasses.asdict` rather than ``repr(config)``:
-    a repr silently omits any field declared with ``repr=False``, so two
-    configs differing only in such a field would alias each other's
-    cache entries — the bug class this function exists to close. New
-    fields are picked up automatically; no hand-maintained tuple to
-    forget to extend.
-    """
-    fields = dataclasses.asdict(config)
-    return repr(sorted(fields.items()))
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "code_fingerprint",
+    "config_fingerprint",
+    "default_cache_dir",
+]
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -45,28 +46,6 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 def default_cache_dir() -> str:
     return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
-
-
-def code_fingerprint() -> str:
-    """Hash of every ``repro`` source file, for cache invalidation.
-
-    Any edit to the simulator invalidates all cached results; stale
-    results can never be served after a code change.
-    """
-    import repro
-
-    package_root = os.path.dirname(os.path.abspath(repro.__file__))
-    digest = hashlib.sha256()
-    for directory, subdirs, files in sorted(os.walk(package_root)):
-        subdirs.sort()
-        for filename in sorted(files):
-            if not filename.endswith(".py"):
-                continue
-            path = os.path.join(directory, filename)
-            digest.update(os.path.relpath(path, package_root).encode())
-            with open(path, "rb") as handle:
-                digest.update(handle.read())
-    return digest.hexdigest()
 
 
 class ResultCache:

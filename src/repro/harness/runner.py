@@ -22,7 +22,10 @@ functional-evaluation backend is selected the same way via
 ``REPRO_BACKEND`` (the CLI's ``--backend`` flag sets it), so workers
 simulate on the scalar or vector engine uniformly — and since the
 backend is a :class:`~repro.config.machine.MachineConfig` field, it is
-part of every result-cache key.
+part of every result-cache key. ``REPRO_REPLAY`` (the CLI's ``--replay``
+flag) selects the trace-replay timing source the same way; workers
+share recorded kernel traces through a ``traces/`` subdirectory of the
+cache directory.
 """
 
 from __future__ import annotations
@@ -66,12 +69,20 @@ RETRY_BACKOFF_S = 0.25
 
 
 class ExperimentError(ReproError):
-    """An experiment failed and ``fail_fast`` was requested."""
+    """An experiment failed and ``fail_fast`` was requested.
 
-    def __init__(self, name: str, error: str):
+    ``results``/``timings`` carry everything completed before the
+    abort, *including* the failing experiment's structured failure
+    entry and wall-clock — the two dicts are always consistent with
+    each other, exactly as :func:`run_many` would have returned them.
+    """
+
+    def __init__(self, name: str, error: str, results=None, timings=None):
         super().__init__(f"experiment {name!r} failed: {error}")
         self.experiment = name
         self.error = error
+        self.results = dict(results) if results is not None else {}
+        self.timings = dict(timings) if timings is not None else {}
 
 
 def experiment_names() -> list:
@@ -114,11 +125,20 @@ def _failure(error: str, attempts: int) -> dict:
 # Execution
 # ----------------------------------------------------------------------
 def _init_worker(cache_dir: "str | None") -> None:
-    """Install the shared disk cache inside a worker process."""
+    """Install the shared disk cache inside a worker process.
+
+    The replay trace store rides along in a ``traces/`` subdirectory of
+    the cache, so workers of a ``--replay`` run share recorded kernel
+    traces exactly like they share results.
+    """
     if cache_dir is not None:
         from repro.harness.resultcache import ResultCache
+        from repro.machine.replay import TraceStore
 
         figures.set_result_cache(ResultCache(cache_dir))
+        figures.set_trace_store(
+            TraceStore(os.path.join(cache_dir, "traces"))
+        )
 
 
 def run_many(names, jobs: int = 1, cache_dir: "str | None" = None,
@@ -154,6 +174,7 @@ def _run_serial(names, cache_dir, fail_fast) -> "tuple[dict, dict]":
     results = {}
     timings = {}
     previous = figures._result_cache
+    previous_store = figures._trace_store
     _init_worker(cache_dir)
     try:
         for name in names:
@@ -162,12 +183,20 @@ def _run_serial(names, cache_dir, fail_fast) -> "tuple[dict, dict]":
                 results[name] = run_experiment(name)
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
+                # Record the failure entry AND its timing before
+                # raising: the dicts must stay consistent for callers
+                # that catch ExperimentError (which carries both).
                 results[name] = _failure(error, attempts=1)
+                timings[name] = time.perf_counter() - start
                 if fail_fast:
-                    raise ExperimentError(name, error) from exc
-            timings[name] = time.perf_counter() - start
+                    raise ExperimentError(
+                        name, error, results=results, timings=timings
+                    ) from exc
+            else:
+                timings[name] = time.perf_counter() - start
     finally:
         figures.set_result_cache(previous)
+        figures.set_trace_store(previous_store)
     return results, timings
 
 
@@ -230,13 +259,21 @@ def _run_isolated(names, jobs, cache_dir, timeout,
             results[attempt.name] = payload
             timings[attempt.name] = elapsed
             return
-        if cache_dir is not None:
-            # A worker killed mid-export (crash or timeout) leaks its
-            # staged trace file; remove exactly the dead experiment's
-            # leftovers so healthy workers' staging files survive.
-            from repro.observe import cleanup_orphan_traces
+        # A worker killed mid-export (crash or timeout) leaks its
+        # staged trace file; remove exactly the dead experiment's
+        # leftovers so healthy workers' staging files survive. The
+        # trace experiment stages in the cache directory when one is
+        # installed but next to its output file under --no-cache, so
+        # the output directory is swept regardless of caching.
+        from repro.observe import cleanup_orphan_traces
 
-            cleanup_orphan_traces(cache_dir, experiment=attempt.name)
+        directories = {
+            os.path.dirname(os.path.abspath(figures.trace_output_path()))
+        }
+        if cache_dir is not None:
+            directories.add(os.path.abspath(cache_dir))
+        for directory in sorted(directories):
+            cleanup_orphan_traces(directory, experiment=attempt.name)
         if attempt.number == 1:
             # Retry once with a short backoff (transient failures:
             # OOM-killed workers, contended caches, flaky hangs).
@@ -249,7 +286,9 @@ def _run_isolated(names, jobs, cache_dir, timeout,
         if fail_fast:
             for other in active:
                 other.stop()
-            raise ExperimentError(attempt.name, payload)
+            raise ExperimentError(
+                attempt.name, payload, results=results, timings=timings
+            )
 
     while ready or delayed or active:
         now = time.monotonic()

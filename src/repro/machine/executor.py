@@ -22,12 +22,13 @@ import itertools
 from repro.config.machine import MachineConfig
 from repro.core.descriptors import IndexSpace, StreamDescriptor
 from repro.core.srf import PortDirection, StreamRegisterFile
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, ReplayError
 from repro.kernel.interpreter import ExecutionContext, KernelInterpreter
 from repro.kernel.ir import KernelStream
 from repro.kernel.ops import OpKind
 from repro.kernel.schedule import StaticSchedule
 from repro.machine.program import KernelInvocation
+from repro.machine.replay import REPLAY_DATA_KINDS, copy_detail
 from repro.machine.stats import KernelRunStats
 from repro.machine.vector import VectorKernelInterpreter, vector_supported
 
@@ -184,7 +185,7 @@ class KernelExecutor:
 
     def __init__(self, config: MachineConfig, srf: StreamRegisterFile,
                  invocation: KernelInvocation, schedule: StaticSchedule,
-                 observer=None):
+                 observer=None, record_to=None, replay_from=None):
         self.config = config
         self.srf = srf
         self.invocation = invocation
@@ -206,15 +207,38 @@ class KernelExecutor:
         self._bind_streams()
         if invocation.on_start is not None:
             invocation.on_start()
+        #: Replay integration (repro.machine.replay). ``replay_from``
+        #: supplies recorded per-iteration stream details in place of
+        #: functional execution; ``record_to`` captures them during a
+        #: functional run. Both are :class:`InvocationTrace` objects.
+        self._record_rows = None
+        self._replay_rows = None
+        self._data_ops = None
+        #: Whether this invocation is re-timed from a recorded trace
+        #: (no interpreter at all; the timing model runs unchanged).
+        self.replay_active = replay_from is not None
         #: Whether this invocation runs on the lane-batched vector
         #: engine. Faulted runs and kernels with read-write indexed
         #: streams always fall back to the scalar reference engine.
         self.vector_active = (
-            config.backend == "vector"
+            not self.replay_active
+            and config.backend == "vector"
             and not config.faults_enabled
             and vector_supported(invocation.kernel)
         )
-        if self.vector_active:
+        if self.replay_active:
+            if len(replay_from.rows) != invocation.iterations:
+                raise ReplayError(
+                    f"{invocation.name}: trace has "
+                    f"{len(replay_from.rows)} rows for "
+                    f"{invocation.iterations} iterations"
+                )
+            self._replay_rows = replay_from.rows
+            self._data_ops = invocation.kernel.stream_ops(
+                *REPLAY_DATA_KINDS
+            )
+            self._interpreter = None
+        elif self.vector_active:
             self._interpreter = VectorKernelInterpreter(
                 invocation.kernel, config.lanes, _SrfBackedContext(self),
                 invocation.iterations,
@@ -222,6 +246,11 @@ class KernelExecutor:
         else:
             self._interpreter = KernelInterpreter(
                 invocation.kernel, config.lanes, _SrfBackedContext(self)
+            )
+        if record_to is not None and not self.replay_active:
+            self._record_rows = record_to.rows
+            self._data_ops = invocation.kernel.stream_ops(
+                *REPLAY_DATA_KINDS
             )
         self._timed_ops = schedule.timed_stream_ops()
         self._heap = []
@@ -412,14 +441,43 @@ class KernelExecutor:
             self._issued < self.invocation.iterations
             and self._issued * self.schedule.ii <= self._vt
         ):
-            trace = self._interpreter.run_iteration()
-            details = {op.op_id: detail for op, detail in trace.entries}
+            details = self._iteration_details()
             base_vt = self._issued * self.schedule.ii
             for op in self._timed_ops:
                 vt = base_vt + self.schedule.slots[op.op_id]
                 event = self._make_event(op, vt, details)
                 heapq.heappush(self._heap, (vt, next(self._sequence), event))
             self._issued += 1
+
+    def _iteration_details(self) -> dict:
+        """Stream-access details of the next iteration, by op id.
+
+        Execute mode runs the interpreter on real data (and optionally
+        records the data-bearing details); replay mode rehydrates them
+        from the recorded trace without touching an interpreter. Details
+        are copied at the recording/replaying boundary so SRF-side
+        mutation can never corrupt a stored row.
+        """
+        if self._replay_rows is not None:
+            row = self._replay_rows[self._issued]
+            if len(row) != len(self._data_ops):
+                raise ReplayError(
+                    f"{self.invocation.name}: iteration {self._issued} "
+                    f"row has {len(row)} details for "
+                    f"{len(self._data_ops)} data ops"
+                )
+            return {
+                op.op_id: copy_detail(op.kind, detail)
+                for op, detail in zip(self._data_ops, row)
+            }
+        trace = self._interpreter.run_iteration()
+        details = {op.op_id: detail for op, detail in trace.entries}
+        if self._record_rows is not None:
+            self._record_rows.append([
+                copy_detail(op.kind, details[op.op_id])
+                for op in self._data_ops
+            ])
+        return details
 
     def _make_event(self, op, vt, details) -> _Event:
         kind = op.kind

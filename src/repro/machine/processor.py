@@ -33,6 +33,7 @@ from repro.kernel.ir import Kernel
 from repro.kernel.resources import ClusterResources
 from repro.kernel.schedule import StaticSchedule
 from repro.kernel.scheduler import ModuloScheduler
+from repro.machine import replay
 from repro.machine.diagnostics import build_deadlock_report
 from repro.machine.executor import KernelExecutor
 from repro.machine.program import StreamProgram
@@ -178,6 +179,23 @@ class StreamProcessor:
         stepping (``MachineConfig.fast_forward=False``).
         """
         program.validate()
+        # Trace-replay wiring (repro.machine.replay): when the config
+        # selects replay timing and a session is active, this program
+        # either records each kernel's stream data or is re-timed from
+        # the recorded trace. Faulted runs always execute (bit flips
+        # change functional data). Invocations correlate by task
+        # *index* — task ids are process-global and unstable.
+        replay_session = None
+        program_trace = None
+        task_index = {}
+        if (self.config.timing_source == "replay"
+                and not self.config.faults_enabled):
+            replay_session = replay.active_session()
+        if replay_session is not None:
+            program_trace = replay_session.begin_program(program)
+            task_index = {
+                t.task_id: i for i, t in enumerate(program.tasks)
+            }
         stats = ProgramStats(name=program.name)
         start_cycle = self.cycle
         start_traffic = self.controller.offchip_traffic_words
@@ -225,9 +243,24 @@ class StreamProcessor:
                     for position, task in enumerate(kernel_waiting):
                         if all(dep in completed for dep in task.deps):
                             schedule = self.schedule_kernel(task.work.kernel)
+                            record_to = replay_from = None
+                            if program_trace is not None:
+                                index = task_index[task.task_id]
+                                if replay_session.replaying:
+                                    replay_from = replay.invocation_replay(
+                                        program_trace, index, task.work
+                                    )
+                                else:
+                                    record_to = (
+                                        replay.begin_invocation_record(
+                                            program_trace, index, task.work
+                                        )
+                                    )
                             executor = KernelExecutor(
                                 self.config, self.srf, task.work, schedule,
                                 observer=self.observer,
+                                record_to=record_to,
+                                replay_from=replay_from,
                             )
                             if tracer is not None:
                                 tracer.begin(
@@ -281,12 +314,12 @@ class StreamProcessor:
                     continue
             elif (
                 use_fast_forward and running is not None
-                and running[1].vector_active
+                and (running[1].vector_active or running[1].replay_active)
             ):
                 # Steady-state skip inside a running kernel (vector
-                # backend only): stretches where the executor provably
-                # just counts cycles between software-pipeline events
-                # and no other component can change state.
+                # backend or trace replay): stretches where the executor
+                # provably just counts cycles between software-pipeline
+                # events and no other component can change state.
                 skip = self._steady_forward_window(
                     running[1], progressed, last_progress_cycle, limit
                 )

@@ -1,0 +1,438 @@
+"""Trace-replay timing mode: record kernel data once, re-time it freely.
+
+The paper is evaluated through *config sweeps* — the same benchmarks on
+Base/ISRF/Cache machines and across timing parameter studies (address/
+data separation, indexed bandwidth, network ports). Functional kernel
+execution is identical at every sweep point that shares a *functional*
+configuration; only the timing model (SRF arbitration, crossbar, DRAM)
+differs. This module records, during one functional run, exactly the
+per-iteration stream-access details the timing model consumes, and
+replays them on later runs so the kernel interpreter never executes —
+while the timing model still runs cycle-for-cycle, keeping replayed
+:class:`~repro.machine.stats.ProgramStats` bit-identical to executed
+ones.
+
+What is recorded
+----------------
+:class:`~repro.machine.executor.KernelExecutor` turns each iteration's
+:class:`~repro.kernel.interpreter.IterationTrace` into timed SRF events.
+Only four op kinds carry data the events need (everything else —
+``SEQ_READ`` pops, ``COMM`` slots — is data-free): ``SEQ_WRITE``
+(per-lane values), ``IDX_ISSUE`` (per-lane record indices),
+``IDX_DATA`` (per-lane word counts) and ``IDX_WRITE`` (per-lane
+``(record_index, words)`` entries). A trace row is the tuple of those
+details for one iteration, ordered by the ops' *program order* in
+``kernel.ops`` — deliberately not by ``op_id`` (a process-global
+counter) nor by schedule slot (timing-dependent), so a trace recorded
+in one process under one schedule replays under any other.
+
+Identity and invalidation
+-------------------------
+Traces are stored per ``(code fingerprint, benchmark, functional
+config fingerprint, scale, format version)``. The functional
+fingerprint (:func:`functional_fingerprint`) is the full
+:func:`repro.fingerprint.config_fingerprint` minus an explicit
+blacklist of *timing-only* fields (:data:`TIMING_ONLY_FIELDS`):
+latencies, bandwidths, separations, network/arbitration policies,
+simulation and observability knobs. The blacklist direction is the safe
+one — a new config field is treated as functional (fragmenting the
+trace space at worst) until proven timing-only. Any simulator source
+edit rotates the code fingerprint and orphans every stored trace.
+
+Fault injection changes functional data (bit flips), so faulted
+configs never record or replay — the processor falls back to plain
+execution, mirroring the vector backend's fallback.
+
+Usage
+-----
+::
+
+    store = TraceStore(directory)
+    config = isrf4_config(timing_source="replay")
+    with replay.session(store, "FFT 2D", config, "small"):
+        result = fft.run(config, n=16)   # records on miss, replays on hit
+
+The first run under a given functional key records (full functional
+execution; stats identical to execute mode) and saves the bundle on
+clean, *verified* exit of the ``with`` block; later runs — including
+under different timing-only parameters — replay. The harness wires this
+up behind ``run_benchmark`` when ``--replay`` / ``REPRO_REPLAY=1`` is
+set, sharing traces through the result-cache directory.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import gzip
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.errors import ReplayError
+from repro.fingerprint import code_fingerprint, config_fingerprint
+from repro.kernel.ops import OpKind
+
+#: Bump whenever the on-disk layout or row semantics change; bundles
+#: with any other version are quarantined, never misread.
+TRACE_FORMAT_VERSION = 1
+
+#: Timed op kinds whose events carry functional data (see module doc).
+REPLAY_DATA_KINDS = (
+    OpKind.SEQ_WRITE, OpKind.IDX_ISSUE, OpKind.IDX_DATA, OpKind.IDX_WRITE,
+)
+
+#: MachineConfig fields that can never change functional kernel data —
+#: everything else participates in the trace key. Kept as an explicit
+#: blacklist so new fields default to *functional* (safe: at worst a
+#: redundant re-record, never a wrong replay).
+TIMING_ONLY_FIELDS = frozenset({
+    # Labels and clocking (config.name only feeds report labels).
+    "name", "clock_hz",
+    # Cluster resources steer the modulo schedule, not the data; trace
+    # rows are keyed by program order, which no schedule can reorder.
+    "alus_per_cluster", "dividers_per_cluster",
+    # SRF/indexed timing parameters.
+    "subarrays_per_bank", "srf_sequential_latency", "stream_buffer_words",
+    "address_fifo_words", "inlane_indexed_bandwidth",
+    "crosslane_indexed_bandwidth", "inlane_indexed_latency",
+    "crosslane_indexed_latency", "crosslane_ports_per_bank",
+    "inlane_addr_data_separation", "crosslane_addr_data_separation",
+    "crosslane_network", "shared_interlane_network", "indexed_arbitration",
+    # Simulation knobs (all proven stats-inert elsewhere).
+    "backend", "timing_source", "deadlock_cycles", "fast_forward",
+    "sanitize",
+    # Observability (read-only probes by construction).
+    "trace", "trace_path", "trace_buffer_events", "metrics_level",
+    "profile_sample_period",
+    # Word protection is inert without faults, and faulted configs never
+    # replay (the fault_* fields themselves stay functional).
+    "srf_protection", "memory_protection",
+    # Memory-system timing.
+    "dram_bandwidth_bytes_per_s", "dram_latency_cycles", "dram_banks",
+    "dram_row_words", "dram_row_miss_penalty",
+    # Cache timing (has_cache itself is functional: apps branch on it).
+    "cache_bytes", "cache_associativity", "cache_banks",
+    "cache_bandwidth_bytes_per_s", "cache_line_words", "cache_hit_latency",
+})
+
+
+def functional_fingerprint(config) -> str:
+    """Deterministic text form of the *functional* config fields.
+
+    Two configs with equal functional fingerprints produce identical
+    kernel data on every benchmark, so they can share one recorded
+    trace (e.g. ISRF1 and ISRF4, which differ only in name and indexed
+    bandwidths). A blacklist entry that no longer names a real field
+    raises — a renamed field must not silently widen the key.
+    """
+    fields = dataclasses.asdict(config)
+    stale = TIMING_ONLY_FIELDS - fields.keys()
+    if stale:
+        raise ReplayError(
+            f"TIMING_ONLY_FIELDS names unknown config fields: "
+            f"{', '.join(sorted(stale))}"
+        )
+    functional = [
+        (name, value) for name, value in fields.items()
+        if name not in TIMING_ONLY_FIELDS
+    ]
+    return repr(sorted(functional))
+
+
+def copy_detail(kind: OpKind, detail):
+    """Deep-copy one recorded detail so SRF machinery cannot alias it.
+
+    Timed events hand detail lists straight to ports and indexed
+    streams; without a copy per use, a replayed (or recorded) row could
+    be mutated by the first run that consumes it.
+    """
+    if detail is None:
+        return None
+    if kind is OpKind.IDX_WRITE:
+        return [
+            None if entry is None else (entry[0], list(entry[1]))
+            for entry in detail
+        ]
+    return list(detail)
+
+
+def invocation_signature(invocation) -> tuple:
+    """Program-order data-bearing op kinds of an invocation's kernel."""
+    return tuple(
+        op.kind.value
+        for op in invocation.kernel.stream_ops(*REPLAY_DATA_KINDS)
+    )
+
+
+# ----------------------------------------------------------------------
+# Trace data model
+# ----------------------------------------------------------------------
+@dataclass
+class InvocationTrace:
+    """Recorded stream data of one kernel invocation.
+
+    ``rows[i][j]`` is the detail of the ``j``-th data-bearing op (in
+    ``kernel.ops`` program order, kinds in ``op_kinds``) on iteration
+    ``i``. ``kernel_name``/``iterations``/``op_kinds`` double as the
+    replay-time compatibility check.
+    """
+
+    kernel_name: str
+    iterations: int
+    op_kinds: tuple
+    rows: list = field(default_factory=list)
+
+
+@dataclass
+class ProgramTrace:
+    """Traces of one :class:`StreamProgram` run, keyed by task index.
+
+    Task *index* (position in ``program.tasks``), not ``task_id``: ids
+    come from a process-global counter and differ between the recording
+    and the replaying process. Indexing by position is stable because a
+    functionally identical run builds an identical task list.
+    """
+
+    name: str
+    task_count: int
+    invocations: dict = field(default_factory=dict)
+
+
+@dataclass
+class TraceBundle:
+    """Everything one benchmark run recorded, in ``run_program`` order."""
+
+    version: int
+    benchmark: str
+    scale: str
+    programs: list = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# On-disk store
+# ----------------------------------------------------------------------
+def default_trace_dir() -> str:
+    """``<result cache dir>/traces`` — traces ride along with results."""
+    # Imported lazily: the harness is a client of the machine layer
+    # everywhere else, and the dependency must not become circular at
+    # import time.
+    from repro.harness.resultcache import default_cache_dir
+
+    return os.path.join(default_cache_dir(), "traces")
+
+
+class TraceStore:
+    """Pickle-per-bundle disk store of recorded kernel traces.
+
+    Same concurrency story as the result cache: atomic writes (temp
+    file + :func:`os.replace`) let worker processes share one directory
+    without locking, and unreadable or wrong-version bundles are
+    quarantined (renamed ``*.bad``) rather than re-parsed forever.
+    Bundles are gzip-compressed — trace rows are highly repetitive.
+    """
+
+    def __init__(self, directory: "str | None" = None):
+        self.directory = directory or default_trace_dir()
+
+    # ------------------------------------------------------------------
+    def key(self, benchmark: str, config, scale: str) -> str:
+        """Stable key for one (benchmark, functional config, scale)."""
+        payload = "\n".join([
+            code_fingerprint(), str(TRACE_FORMAT_VERSION), benchmark,
+            functional_fingerprint(config), scale,
+        ])
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.trace.gz")
+
+    # ------------------------------------------------------------------
+    def load(self, benchmark: str, config, scale: str):
+        """Stored :class:`TraceBundle`, or None on miss / bad entry."""
+        path = self._path(self.key(benchmark, config, scale))
+        try:
+            handle = gzip.open(path, "rb")
+        except OSError:
+            return None  # plain miss
+        try:
+            with handle:
+                bundle = pickle.load(handle)
+        except Exception:
+            self._quarantine(path)
+            return None  # truncated/corrupt: re-record
+        if (not isinstance(bundle, TraceBundle)
+                or bundle.version != TRACE_FORMAT_VERSION):
+            self._quarantine(path)
+            return None  # foreign or stale format: re-record
+        return bundle
+
+    @staticmethod
+    def _quarantine(path: str) -> None:
+        try:
+            os.replace(path, path + ".bad")
+        except OSError:
+            pass
+
+    def save(self, key: str, bundle: TraceBundle) -> None:
+        """Store a bundle; failures to write are non-fatal."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(key)
+        fd, temp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            try:
+                with os.fdopen(fd, "wb") as raw:
+                    with gzip.GzipFile(
+                        fileobj=raw, mode="wb", compresslevel=1, mtime=0,
+                    ) as handle:
+                        pickle.dump(
+                            bundle, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
+                os.replace(temp_path, path)
+            except Exception:
+                pass
+        finally:
+            if os.path.exists(temp_path):
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+
+
+# ----------------------------------------------------------------------
+# Sessions
+# ----------------------------------------------------------------------
+class ReplaySession:
+    """One benchmark run's recording or replaying context.
+
+    Mode is decided once, at construction: ``"replay"`` when the store
+    already holds a bundle for the key, else ``"record"``. The
+    processor consults the active session per ``run_program`` call;
+    program order is the correlation axis (a functionally identical run
+    issues the same programs in the same order).
+    """
+
+    def __init__(self, store: TraceStore, benchmark: str, config,
+                 scale: str):
+        self.store = store
+        self.benchmark = benchmark
+        self.scale = scale
+        self.key = store.key(benchmark, config, scale)
+        bundle = store.load(benchmark, config, scale)
+        if bundle is not None:
+            self.mode = "replay"
+            self.bundle = bundle
+        else:
+            self.mode = "record"
+            self.bundle = TraceBundle(
+                version=TRACE_FORMAT_VERSION, benchmark=benchmark,
+                scale=scale,
+            )
+        self._cursor = 0
+
+    @property
+    def replaying(self) -> bool:
+        return self.mode == "replay"
+
+    def begin_program(self, program) -> ProgramTrace:
+        """The trace to record into / replay from for one program run."""
+        if not self.replaying:
+            trace = ProgramTrace(
+                name=program.name, task_count=len(program.tasks),
+            )
+            self.bundle.programs.append(trace)
+            return trace
+        if self._cursor >= len(self.bundle.programs):
+            raise ReplayError(
+                f"{self.benchmark}: trace has {len(self.bundle.programs)} "
+                f"recorded programs but the run asked for more"
+            )
+        trace = self.bundle.programs[self._cursor]
+        self._cursor += 1
+        # Names are not compared: apps embed the config label (a
+        # timing-only field) in program names, and sharing one trace
+        # across timing variants is the whole point. Shape and the
+        # per-invocation kernel/iteration/signature checks guard
+        # against genuine misalignment.
+        if trace.task_count != len(program.tasks):
+            raise ReplayError(
+                f"{self.benchmark}: recorded program "
+                f"{trace.name!r} has {trace.task_count} tasks; this run's "
+                f"{program.name!r} has {len(program.tasks)}"
+            )
+        return trace
+
+    def save(self) -> None:
+        """Persist the recorded bundle (no-op when replaying)."""
+        if not self.replaying:
+            self.store.save(self.key, self.bundle)
+
+
+def begin_invocation_record(program_trace: ProgramTrace, task_index: int,
+                            invocation) -> InvocationTrace:
+    """Open the recording slot for one kernel invocation."""
+    trace = InvocationTrace(
+        kernel_name=invocation.name,
+        iterations=invocation.iterations,
+        op_kinds=invocation_signature(invocation),
+    )
+    program_trace.invocations[task_index] = trace
+    return trace
+
+
+def invocation_replay(program_trace: ProgramTrace, task_index: int,
+                      invocation) -> InvocationTrace:
+    """The recorded trace for one kernel invocation, fully validated."""
+    trace = program_trace.invocations.get(task_index)
+    if trace is None:
+        raise ReplayError(
+            f"{invocation.name}: no recorded trace for task "
+            f"{task_index} of program {program_trace.name!r}"
+        )
+    signature = invocation_signature(invocation)
+    if (trace.kernel_name != invocation.name
+            or trace.iterations != invocation.iterations
+            or tuple(trace.op_kinds) != signature):
+        raise ReplayError(
+            f"{invocation.name}: recorded trace (kernel "
+            f"{trace.kernel_name!r}, {trace.iterations} iterations, "
+            f"{len(trace.op_kinds)} data ops) does not match this "
+            f"invocation ({invocation.iterations} iterations, "
+            f"{len(signature)} data ops)"
+        )
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Active-session plumbing
+# ----------------------------------------------------------------------
+_active_session: "ReplaySession | None" = None
+
+
+def active_session() -> "ReplaySession | None":
+    """The session the current benchmark run records into / replays from."""
+    return _active_session
+
+
+@contextlib.contextmanager
+def session(store: TraceStore, benchmark: str, config, scale: str):
+    """Scope one benchmark run's recording/replaying.
+
+    On a trace miss the body runs in record mode and the bundle is
+    saved only when the body exits cleanly — an unverified or crashed
+    run never publishes a trace. Sessions do not nest: one session
+    covers one benchmark run end to end.
+    """
+    global _active_session
+    if _active_session is not None:
+        raise ReplayError("replay sessions do not nest")
+    sess = ReplaySession(store, benchmark, config, scale)
+    _active_session = sess
+    try:
+        yield sess
+    finally:
+        _active_session = None
+    sess.save()

@@ -35,6 +35,17 @@ class TestArgumentErrors:
         assert "--json requires a value" in err
         assert "usage:" in err
 
+    def test_json_bad_directory_fails_before_running(self, tmp_path,
+                                                     capsys):
+        # Regression: a bad --json path was only discovered after every
+        # experiment had run, discarding all their results.
+        target = tmp_path / "missing" / "deeper" / "out.json"
+        assert main(["table3", "--json", str(target)]) == 2
+        captured = capsys.readouterr()
+        assert "does not exist" in captured.err
+        assert "usage:" in captured.err
+        assert "Table 3" not in captured.out  # nothing ran
+
     def test_unknown_experiment_fails_with_usage(self, capsys):
         assert main(["definitely-not-an-experiment"]) == 2
         err = capsys.readouterr().err

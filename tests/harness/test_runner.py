@@ -125,10 +125,73 @@ class TestGracefulDegradation:
         assert not orphan.exists()
         assert other.exists()
 
+    def test_staged_trace_swept_without_cache_dir(self, monkeypatch,
+                                                  tmp_path):
+        # Regression: the sweep only ran when a cache directory was
+        # configured, but under --no-cache the trace experiment stages
+        # next to its output file — a crashed worker's leftovers were
+        # never cleaned up there.
+        from repro.observe import STAGING_SUFFIX
+
+        monkeypatch.setattr(figures, "_trace_path",
+                            str(tmp_path / "out.json"))
+        orphan = tmp_path / f"out.json.area{STAGING_SUFFIX}"
+        other = tmp_path / f"out.json.table3{STAGING_SUFFIX}"
+        orphan.write_text("partial")
+        other.write_text("partial")
+        monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "area")
+        results, _ = run_many(["area"], jobs=2, cache_dir=None)
+        assert failed(results["area"])
+        assert not orphan.exists()
+        assert other.exists()  # only the failed experiment's are swept
+
+    def test_serial_fail_fast_carries_consistent_results(self,
+                                                         monkeypatch):
+        # Regression: the serial runner raised before recording the
+        # failing experiment's timing, so results and timings disagreed.
+        monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "area")
+        with pytest.raises(ExperimentError) as info:
+            run_many(["table3", "area"], fail_fast=True)
+        exc = info.value
+        assert exc.experiment == "area"
+        assert "text" in exc.results["table3"]
+        assert failed(exc.results["area"])
+        assert set(exc.timings) == set(exc.results)
+        assert all(t >= 0 for t in exc.timings.values())
+
+    def test_isolated_fail_fast_carries_consistent_results(self,
+                                                           monkeypatch):
+        monkeypatch.setenv(FAIL_EXPERIMENT_ENV, "area")
+        with pytest.raises(ExperimentError) as info:
+            run_many(["table3", "area"], jobs=2, fail_fast=True)
+        exc = info.value
+        assert failed(exc.results["area"])
+        assert set(exc.timings) == set(exc.results)
+        assert "area" in exc.timings
+
     def test_failed_predicate(self):
         assert failed({"status": "failed", "error": "x", "attempts": 2})
         assert not failed({"text": "fine"})
         assert not failed("not even a dict")
+
+
+class TestCodeFingerprintMemo:
+    def test_second_cache_does_no_source_tree_io(self, monkeypatch,
+                                                 tmp_path):
+        # Regression: every ResultCache() re-walked and re-hashed the
+        # whole source tree — per worker process, per experiment. The
+        # fingerprint is memoized per process now.
+        from repro import fingerprint
+
+        first = fingerprint.code_fingerprint()  # warm the memo
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("re-walked the source tree")
+
+        monkeypatch.setattr(fingerprint, "_compute_code_fingerprint", boom)
+        assert fingerprint.code_fingerprint() == first
+        cache = ResultCache(str(tmp_path))  # would raise without the memo
+        assert cache.key("a", isrf4_config(), "small")
 
 
 class TestResultCache:

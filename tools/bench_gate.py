@@ -1,26 +1,29 @@
-"""Vector-backend performance regression gate.
+"""Vector-backend and trace-replay performance regression gates.
 
 Measures ``benchmarks/bench_headline_claims.py`` wall-clock under
 pytest-benchmark on both backends (via the ``REPRO_BACKEND`` overlay),
 plus the per-engine-path workloads in
 ``benchmarks/bench_backend_speed.py`` as diagnostics, and compares the
 headline vector/scalar ratio against the committed
-``BENCH_BASELINE.json``:
+``BENCH_BASELINE.json``. It also runs ``tools/replay_sweep.py`` and
+gates the replay/execute sweep speedup the same way:
 
     PYTHONPATH=src python tools/bench_gate.py            # gate
     PYTHONPATH=src python tools/bench_gate.py --update   # re-baseline
 
-The gate fails when the headline ratio exceeds ``baseline_ratio * (1 +
-tolerance)`` — i.e. the vector backend got more than ``tolerance``
-(default 20%) slower *relative to the scalar backend on the same
-machine*. Gating on the ratio rather than absolute seconds makes the
-gate machine-independent (a slow CI runner scales both backends
-alike); gating on the headline benchmark makes it representative (all
-eight apps, both access modes). Each backend's headline time is the
-best of two fresh processes and the diagnostic workloads use
-best-of-five rounds, so one noisy round cannot fail the gate or bake a
-skewed baseline. Re-baseline deliberately with ``--update`` after an
-intentional engine or timing-model change.
+The backend gate fails when the headline ratio exceeds
+``baseline_ratio * (1 + tolerance)`` — i.e. the vector backend got
+more than ``tolerance`` (default 20%) slower *relative to the scalar
+backend on the same machine*. The replay gate fails when the sweep
+speedup drops below ``baseline_speedup * (1 - tolerance)`` — i.e. the
+replay mode stopped paying for itself. Gating on ratios rather than
+absolute seconds makes both gates machine-independent (a slow CI
+runner scales both sides alike). Each backend's headline time is the
+best of two fresh processes, the diagnostic workloads use best-of-five
+rounds, and the replay sweep keeps the best of two passes, so one
+noisy round cannot fail a gate or bake a skewed baseline. Re-baseline
+deliberately with ``--update`` after an intentional engine or
+timing-model change.
 """
 
 import argparse
@@ -35,10 +38,15 @@ BASELINE_PATH = os.path.join(REPO, "BENCH_BASELINE.json")
 SPEED_FILE = os.path.join(REPO, "benchmarks", "bench_backend_speed.py")
 HEADLINE_FILE = os.path.join(REPO, "benchmarks",
                              "bench_headline_claims.py")
+REPLAY_SWEEP = os.path.join(REPO, "tools", "replay_sweep.py")
 
 #: Fresh processes per backend for the headline measurement; the gate
 #: uses the best, shielding the ratio from one-off machine noise.
 HEADLINE_RUNS = 2
+
+#: Fresh processes for the replay sweep; the gate keeps the best
+#: speedup for the same reason.
+REPLAY_RUNS = 2
 
 
 def _pytest_benchmark(bench_file: str, extra_env=None) -> dict:
@@ -89,6 +97,36 @@ def run_benchmarks() -> dict:
     return timings
 
 
+def run_replay_sweep() -> dict:
+    """Measure the replay sweep; returns the best-of-N sweep report.
+
+    Each pass is a fresh process running the full ``replay_sweep.py``
+    grid, which itself hard-fails unless replayed stats are
+    bit-identical to executed ones — so a gate pass also certifies
+    replay correctness on this machine.
+    """
+    best = None
+    for _ in range(REPLAY_RUNS):
+        with tempfile.TemporaryDirectory() as tmp:
+            out_path = os.path.join(tmp, "replay.json")
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (os.path.join(REPO, "src"),
+                            env.get("PYTHONPATH")) if p
+            )
+            proc = subprocess.run(
+                [sys.executable, REPLAY_SWEEP, "--json", out_path],
+                cwd=REPO, env=env,
+            )
+            if proc.returncode != 0:
+                raise SystemExit("replay sweep failed")
+            with open(out_path) as handle:
+                report = json.load(handle)
+        if best is None or report["speedup"] > best["speedup"]:
+            best = report
+    return best
+
+
 def ratios_of(timings: dict) -> dict:
     return {
         workload: backends["vector"] / backends["scalar"]
@@ -96,7 +134,7 @@ def ratios_of(timings: dict) -> dict:
     }
 
 
-def gate(timings: dict, baseline: dict) -> int:
+def gate(timings: dict, replay_report: dict, baseline: dict) -> int:
     tolerance = baseline.get("tolerance", 0.20)
     measured = ratios_of(timings)
     print(f"{'workload':<12} {'scalar s':>9} {'vector s':>9} "
@@ -106,6 +144,7 @@ def gate(timings: dict, baseline: dict) -> int:
         print(f"{workload:<12} {timings[workload]['scalar']:>9.3f} "
               f"{timings[workload]['vector']:>9.3f} {ratio:>7.3f} "
               f"{base if base is not None else float('nan'):>9.3f}")
+    status = 0
     headline = measured["headline"]
     base_headline = baseline["ratios"]["headline"]
     limit = base_headline * (1 + tolerance)
@@ -114,22 +153,49 @@ def gate(timings: dict, baseline: dict) -> int:
     if headline > limit:
         print(f"FAIL: vector backend regressed beyond {tolerance:.0%} "
               "on bench_headline_claims")
+        status = 1
+    else:
+        print("OK: within tolerance")
+    replay_base = baseline.get("replay")
+    if replay_base is None:
+        print("FAIL: no replay baseline recorded; run with --update")
         return 1
-    print("OK: within tolerance")
-    return 0
+    replay_tolerance = replay_base.get("tolerance", 0.15)
+    speedup = replay_report["speedup"]
+    floor = replay_base["speedup"] * (1 - replay_tolerance)
+    print(f"replay sweep speedup: {speedup:.3f}x "
+          f"(baseline {replay_base['speedup']:.3f}x, floor {floor:.3f}x, "
+          f"stats bit-identical)")
+    if speedup < floor:
+        print(f"FAIL: replay sweep benefit eroded beyond "
+              f"{replay_tolerance:.0%} on tools/replay_sweep.py")
+        status = 1
+    else:
+        print("OK: within tolerance")
+    return status
 
 
-def update(timings: dict) -> None:
+def update(timings: dict, replay_report: dict) -> None:
     ratios = ratios_of(timings)
     baseline = {
         "_comment": (
-            "Vector-backend speed baseline; see tools/bench_gate.py. "
-            "Gated metric: the 'headline' vector/scalar wall-clock "
-            "ratio (machine-independent); other workloads and "
-            "recorded_seconds are diagnostic."
+            "Vector-backend and trace-replay speed baseline; see "
+            "tools/bench_gate.py. Gated metrics: the 'headline' "
+            "vector/scalar wall-clock ratio and the replay/execute "
+            "sweep speedup (both machine-independent); other workloads "
+            "and recorded seconds are diagnostic."
         ),
         "tolerance": 0.20,
         "ratios": {w: round(r, 3) for w, r in ratios.items()},
+        "replay": {
+            "tolerance": 0.15,
+            "speedup": replay_report["speedup"],
+            "recorded": {
+                key: replay_report[key]
+                for key in ("sweep_points", "execute_s", "record_s",
+                            "replay_s")
+            },
+        },
         "recorded_seconds": {
             workload: {backend: round(seconds, 3)
                        for backend, seconds in sorted(backends.items())}
@@ -148,6 +214,7 @@ def main() -> int:
                         help="rewrite BENCH_BASELINE.json from this run")
     args = parser.parse_args()
     timings = run_benchmarks()
+    replay_report = run_replay_sweep()
     if args.update:
         # Measure twice, keep the per-cell best: one outlier round on a
         # busy machine must not bake a skewed ratio into the baseline.
@@ -157,7 +224,7 @@ def main() -> int:
                 timings[workload][backend] = min(
                     timings[workload][backend], seconds
                 )
-        update(timings)
+        update(timings, replay_report)
         return 0
     try:
         with open(BASELINE_PATH) as handle:
@@ -166,7 +233,7 @@ def main() -> int:
         raise SystemExit(
             f"missing {BASELINE_PATH}; run with --update to create it"
         )
-    return gate(timings, baseline)
+    return gate(timings, replay_report, baseline)
 
 
 if __name__ == "__main__":
