@@ -102,6 +102,47 @@ class MemorySystemError(ReproError):
     """An illegal memory-system request was issued."""
 
 
+class StoreError(ReproError):
+    """The durable store or its manifest journal is unusable.
+
+    Raised by :mod:`repro.store` for conditions a caller cannot recover
+    from by recomputing one entry — an unwritable directory, a manifest
+    journal corrupted beyond its torn tail, or a lock that cannot be
+    acquired. Per-entry corruption never raises: corrupt entries are
+    quarantined and reads report a miss.
+    """
+
+
+class LockTimeout(StoreError):
+    """An advisory store lock could not be acquired within the timeout.
+
+    Carries the lock ``path`` and, when readable, the ``owner`` record
+    (pid/host/timestamp) of the current live holder, so the error text
+    alone identifies who is blocking the store.
+    """
+
+    def __init__(self, message: str, path: str = "", owner=None):
+        super().__init__(message)
+        self.path = path
+        self.owner = owner
+
+
+class SweepInterrupted(ReproError):
+    """A harness sweep was stopped by SIGINT/SIGTERM and drained.
+
+    The runner terminated every worker process group, journaled the
+    interruption, and re-raised as this error. ``results``/``timings``
+    carry everything completed before the drain; the sweep journal
+    (when one was configured) allows ``--resume`` to continue exactly
+    where the drain stopped.
+    """
+
+    def __init__(self, message: str, results=None, timings=None):
+        super().__init__(message)
+        self.results = dict(results) if results is not None else {}
+        self.timings = dict(timings) if timings is not None else {}
+
+
 class ReplayError(ReproError):
     """A recorded kernel trace does not match the run replaying it.
 

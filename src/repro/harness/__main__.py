@@ -23,8 +23,10 @@ import sys
 
 from repro.config.machine import BACKEND_KINDS
 from repro.config.presets import BACKEND_ENV, REPLAY_ENV
+from repro.errors import SweepInterrupted
 from repro.harness import figures, runner
 from repro.harness.resultcache import default_cache_dir
+from repro.harness.sweep import default_sweep_journal
 
 USAGE = """\
 usage: python -m repro.harness [EXPERIMENT ...] [options]
@@ -35,8 +37,15 @@ Runs every experiment when none is named. Known experiments:
 options:
   --jobs N         run experiments in N parallel worker processes
   --timeout S      per-experiment timeout in seconds (isolated workers)
+  --deadline S     total sweep wall-clock budget; past it, unfinished
+                   experiments become structured failures (exit 1)
+                   instead of running or retrying unbounded
+  --resume         continue an interrupted sweep from the journal in
+                   the cache directory: journaled completions are
+                   served without re-execution (needs the cache)
   --fail-fast      abort on the first failure instead of degrading
   --json PATH      also dump structured results as JSON to PATH
+                   (includes durable-store entry/quarantine counts)
   --cache-dir DIR  on-disk benchmark result cache (default {cache_dir})
   --no-cache       disable the on-disk cache for this run
   --trace-path P   output file of the `trace` experiment
@@ -82,18 +91,37 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _store_stats(cache_dir: "str | None") -> dict:
+    """Durable-store health (entries, quarantined, tmp) for --json.
+
+    Quarantine counts make silent corruption visible: a torn or
+    undecodable entry costs a recompute, but the operator should see
+    that it happened.
+    """
+    if cache_dir is None:
+        return {}
+    from repro.harness.resultcache import ResultCache
+    from repro.machine.replay import TraceStore
+
+    stats = {"results": ResultCache(cache_dir).stats()}
+    traces_dir = os.path.join(cache_dir, "traces")
+    if os.path.isdir(traces_dir):
+        stats["traces"] = TraceStore(traces_dir).stats()
+    return stats
+
+
 def _parse_args(argv):
     """Split argv into (names, options) or raise ValueError."""
     options = {"json": None, "jobs": 1, "cache_dir": default_cache_dir(),
                "no_cache": False, "list": False, "timeout": None,
                "fail_fast": False, "trace_path": None, "backend": None,
-               "replay": False}
+               "replay": False, "deadline": None, "resume": False}
     names = []
     position = 0
     while position < len(argv):
         token = argv[position]
         if token in ("--json", "--jobs", "--cache-dir", "--timeout",
-                     "--trace-path", "--backend"):
+                     "--trace-path", "--backend", "--deadline"):
             if position + 1 >= len(argv):
                 raise ValueError(f"{token} requires a value")
             value = argv[position + 1]
@@ -110,16 +138,17 @@ def _parse_args(argv):
                         f"{', '.join(BACKEND_KINDS)}; got {value!r}"
                     )
                 options["backend"] = value
-            elif token == "--timeout":
+            elif token in ("--timeout", "--deadline"):
+                field = token.lstrip("-")
                 try:
-                    options["timeout"] = float(value)
+                    options[field] = float(value)
                 except ValueError:
                     raise ValueError(
-                        f"--timeout needs a number of seconds, got "
+                        f"{token} needs a number of seconds, got "
                         f"{value!r}"
                     ) from None
-                if options["timeout"] <= 0:
-                    raise ValueError("--timeout must be positive")
+                if options[field] <= 0:
+                    raise ValueError(f"{token} must be positive")
             else:
                 try:
                     options["jobs"] = int(value)
@@ -133,6 +162,8 @@ def _parse_args(argv):
             continue
         if token == "--no-cache":
             options["no_cache"] = True
+        elif token == "--resume":
+            options["resume"] = True
         elif token == "--replay":
             options["replay"] = True
         elif token == "--fail-fast":
@@ -178,6 +209,8 @@ def main(argv=None) -> int:
             )
 
     cache_dir = None if options["no_cache"] else options["cache_dir"]
+    if options["resume"] and cache_dir is None:
+        return _fail("--resume requires the on-disk cache (no --no-cache)")
     # Backend travels via the environment: forked workers inherit it,
     # and the preset factories overlay it onto every machine config.
     if options["backend"] is not None:
@@ -189,14 +222,21 @@ def main(argv=None) -> int:
     figures.set_trace_path(options["trace_path"])
     scale = figures.default_scale()
     print(f"# repro harness (scale: {scale}, jobs: {options['jobs']})\n")
+    sweep_journal = (default_sweep_journal(cache_dir)
+                     if cache_dir is not None else None)
     try:
         results, timings = runner.run_many(
             selected, jobs=options["jobs"], cache_dir=cache_dir,
             timeout=options["timeout"], fail_fast=options["fail_fast"],
+            deadline=options["deadline"], sweep_journal=sweep_journal,
+            resume=options["resume"],
         )
     except runner.ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except SweepInterrupted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 130
     collected = {}
     failures = []
     for name in selected:
@@ -216,6 +256,18 @@ def main(argv=None) -> int:
             collected[name].update(
                 _jsonable({k: v for k, v in result.items() if k != "text"})
             )
+    store_stats = _store_stats(cache_dir)
+    quarantined = sum(
+        block.get("quarantined", 0) for block in store_stats.values()
+    )
+    if quarantined:
+        # Silent corruption must be visible: quarantined entries mean
+        # torn or undecodable store files were detected and recomputed.
+        print(
+            f"warning: {quarantined} quarantined store entr"
+            f"{'y' if quarantined == 1 else 'ies'} under {cache_dir}",
+            file=sys.stderr,
+        )
     if options["json"] is not None:
         payload = {
             "scale": scale,
@@ -223,6 +275,8 @@ def main(argv=None) -> int:
             "timings_s": {k: round(v, 3) for k, v in timings.items()},
             "experiments": collected,
         }
+        if store_stats:
+            payload["store"] = store_stats
         with open(options["json"], "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {options['json']}")

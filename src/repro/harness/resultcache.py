@@ -13,10 +13,16 @@ source change or config tweak invalidates the cache automatically.
 Deleting the cache directory (default ``.repro-cache``, overridable via
 ``REPRO_CACHE_DIR``) is always safe.
 
-Both fingerprints live in :mod:`repro.fingerprint` (shared with the
-kernel trace store of :mod:`repro.machine.replay`) and are re-exported
-here for compatibility; the code fingerprint is memoized per process,
-so constructing a second :class:`ResultCache` does no file I/O.
+Durability is delegated wholesale to
+:class:`repro.store.DurableStore`: entries are journaled in a manifest
+before they become visible, verified against a SHA-256 checksum on
+every read, quarantined (bounded) when torn or undecodable, and
+recovered after crashes — the cache itself is just the pickle codec
+and the key schema. Both fingerprints live in
+:mod:`repro.fingerprint` (shared with the kernel trace store of
+:mod:`repro.machine.replay`) and are re-exported here for
+compatibility; the code fingerprint is memoized per process, so
+constructing a second :class:`ResultCache` does no file I/O.
 """
 
 from __future__ import annotations
@@ -24,9 +30,9 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 
 from repro.fingerprint import code_fingerprint, config_fingerprint
+from repro.store import DurableStore
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -49,17 +55,18 @@ def default_cache_dir() -> str:
 
 
 class ResultCache:
-    """Pickle-per-entry disk cache of benchmark results.
+    """Pickle codec over a :class:`~repro.store.DurableStore`.
 
-    Writes are atomic (temp file + :func:`os.replace`) so concurrent
-    worker processes can share one cache directory without locking: the
-    worst case is two workers computing the same entry, and last-write
-    wins with identical content.
+    Concurrent worker processes share one cache directory safely: the
+    store serializes writes through its advisory lock, readers verify
+    checksums, and the worst case is two workers computing the same
+    entry, last-write-wins with identical content.
     """
 
     def __init__(self, directory: "str | None" = None):
         self.directory = directory or default_cache_dir()
         self._fingerprint = code_fingerprint()
+        self._store = DurableStore(self.directory, suffix=".pkl")
 
     # ------------------------------------------------------------------
     def key(self, benchmark: str, config, scale: str) -> str:
@@ -71,63 +78,43 @@ class ResultCache:
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def _path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.pkl")
+        return self._store.path(key)
 
     # ------------------------------------------------------------------
     def get(self, benchmark: str, config, scale: str):
         """Cached result, or None on miss / unreadable entry.
 
-        A present-but-unreadable entry (truncated write, stale class
-        layout, garbage) is *quarantined* — renamed to ``<key>.pkl.bad``
-        — so it is not re-parsed on every subsequent run; a later
-        :meth:`put` recreates the entry cleanly.
+        A present-but-unusable entry — torn write (checksum mismatch),
+        unjournaled file, stale class layout, garbage — is *quarantined*
+        (renamed to ``<key>.pkl.bad``, bounded per directory) so it is
+        not re-parsed on every subsequent run; a later :meth:`put`
+        recreates the entry cleanly.
         """
-        path = self._path(self.key(benchmark, config, scale))
+        key = self.key(benchmark, config, scale)
+        data = self._store.get_bytes(key)
+        if data is None:
+            return None
         try:
-            handle = open(path, "rb")
-        except OSError:
-            return None  # plain miss
-        try:
-            with handle:
-                return pickle.load(handle)
+            return pickle.loads(data)
         except Exception:
-            self._quarantine(path)
-            return None  # corrupt/stale entry: recompute
-
-    @staticmethod
-    def _quarantine(path: str) -> None:
-        try:
-            os.replace(path, path + ".bad")
-        except OSError:
-            pass
+            # Checksum-valid bytes that no longer unpickle (e.g. a
+            # result class changed shape without a source edit the
+            # fingerprint could see): quarantine and recompute.
+            self._store.quarantine(key)
+            return None
 
     def put(self, benchmark: str, config, scale: str, result) -> None:
         """Store a result; failures to write are non-fatal.
 
-        The temp file is removed on *any* failure — including
-        non-``OSError`` ones such as an unpicklable result — so aborted
-        writes cannot litter the cache directory.
+        Serialization failures (an unpicklable result) and write
+        failures (ENOSPC, permissions) leave the store untouched — no
+        temp files, no manifest entry.
         """
-        os.makedirs(self.directory, exist_ok=True)
-        path = self._path(self.key(benchmark, config, scale))
-        fd, temp_path = tempfile.mkstemp(
-            dir=self.directory, suffix=".tmp"
-        )
         try:
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(
-                        result, handle, protocol=pickle.HIGHEST_PROTOCOL
-                    )
-                os.replace(temp_path, path)
-            except Exception:
-                pass
-        finally:
-            if os.path.exists(temp_path):
-                try:
-                    os.unlink(temp_path)
-                except OSError:
-                    pass
+            data = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return
+        self._store.put_bytes(self.key(benchmark, config, scale), data)
 
     # ------------------------------------------------------------------
     def clear(self) -> "int":
@@ -137,17 +124,11 @@ class ResultCache:
         deleted too but not counted — the return value is the number of
         actual cache entries, as the name promises.
         """
-        removed = 0
-        try:
-            entries = os.listdir(self.directory)
-        except OSError:
-            return 0
-        for filename in entries:
-            if filename.endswith((".pkl", ".tmp", ".bad")):
-                try:
-                    os.unlink(os.path.join(self.directory, filename))
-                except OSError:
-                    continue
-                if filename.endswith(".pkl"):
-                    removed += 1
-        return removed
+        return self._store.clear()
+
+    def stats(self) -> dict:
+        """Entry/quarantine counts (surfaced in harness ``--json``)."""
+        return self._store.stats()
+
+    def quarantine_count(self) -> int:
+        return self._store.quarantine_count()

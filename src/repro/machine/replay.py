@@ -66,14 +66,15 @@ import contextlib
 import dataclasses
 import gzip
 import hashlib
+import io
 import os
 import pickle
-import tempfile
 from dataclasses import dataclass, field
 
 from repro.errors import ReplayError
 from repro.fingerprint import code_fingerprint, config_fingerprint
 from repro.kernel.ops import OpKind
+from repro.store import DurableStore
 
 #: Bump whenever the on-disk layout or row semantics change; bundles
 #: with any other version are quarantined, never misread.
@@ -225,17 +226,18 @@ def default_trace_dir() -> str:
 
 
 class TraceStore:
-    """Pickle-per-bundle disk store of recorded kernel traces.
+    """Gzip-pickle codec over a :class:`~repro.store.DurableStore`.
 
-    Same concurrency story as the result cache: atomic writes (temp
-    file + :func:`os.replace`) let worker processes share one directory
-    without locking, and unreadable or wrong-version bundles are
-    quarantined (renamed ``*.bad``) rather than re-parsed forever.
-    Bundles are gzip-compressed — trace rows are highly repetitive.
+    Same durability story as the result cache — entries journaled in a
+    write-ahead manifest, SHA-256-verified on read, quarantined
+    (bounded, ``*.bad``) when torn or undecodable, crash-recovered —
+    because it *is* the same code path. Bundles are gzip-compressed:
+    trace rows are highly repetitive.
     """
 
     def __init__(self, directory: "str | None" = None):
         self.directory = directory or default_trace_dir()
+        self._store = DurableStore(self.directory, suffix=".trace.gz")
 
     # ------------------------------------------------------------------
     def key(self, benchmark: str, config, scale: str) -> str:
@@ -247,59 +249,44 @@ class TraceStore:
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def _path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.trace.gz")
+        return self._store.path(key)
 
     # ------------------------------------------------------------------
     def load(self, benchmark: str, config, scale: str):
         """Stored :class:`TraceBundle`, or None on miss / bad entry."""
-        path = self._path(self.key(benchmark, config, scale))
+        key = self.key(benchmark, config, scale)
+        data = self._store.get_bytes(key)
+        if data is None:
+            return None  # plain miss (or quarantined torn entry)
         try:
-            handle = gzip.open(path, "rb")
-        except OSError:
-            return None  # plain miss
-        try:
-            with handle:
-                bundle = pickle.load(handle)
+            bundle = pickle.loads(gzip.decompress(data))
         except Exception:
-            self._quarantine(path)
-            return None  # truncated/corrupt: re-record
+            self._store.quarantine(key)
+            return None  # undecodable despite valid checksum: re-record
         if (not isinstance(bundle, TraceBundle)
                 or bundle.version != TRACE_FORMAT_VERSION):
-            self._quarantine(path)
+            self._store.quarantine(key)
             return None  # foreign or stale format: re-record
         return bundle
 
-    @staticmethod
-    def _quarantine(path: str) -> None:
-        try:
-            os.replace(path, path + ".bad")
-        except OSError:
-            pass
-
     def save(self, key: str, bundle: TraceBundle) -> None:
         """Store a bundle; failures to write are non-fatal."""
-        os.makedirs(self.directory, exist_ok=True)
-        path = self._path(key)
-        fd, temp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
-            try:
-                with os.fdopen(fd, "wb") as raw:
-                    with gzip.GzipFile(
-                        fileobj=raw, mode="wb", compresslevel=1, mtime=0,
-                    ) as handle:
-                        pickle.dump(
-                            bundle, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL,
-                        )
-                os.replace(temp_path, path)
-            except Exception:
-                pass
-        finally:
-            if os.path.exists(temp_path):
-                try:
-                    os.unlink(temp_path)
-                except OSError:
-                    pass
+            buffer = io.BytesIO()
+            with gzip.GzipFile(
+                fileobj=buffer, mode="wb", compresslevel=1, mtime=0,
+            ) as handle:
+                pickle.dump(
+                    bundle, handle, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            data = buffer.getvalue()
+        except Exception:
+            return
+        self._store.put_bytes(key, data)
+
+    def stats(self) -> dict:
+        """Entry/quarantine counts (surfaced in harness ``--json``)."""
+        return self._store.stats()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,48 @@
+"""Crash-consistent durable storage for caches, traces, and sweeps.
+
+This package centralizes what used to be per-client durability tricks
+(the result cache's temp-file dance, the trace store's quarantine
+logic, the sweep runner's lost in-flight bookkeeping) into one audited
+code path:
+
+:mod:`repro.store.journal`
+    Checksummed append-only journals with torn-tail tolerance — the
+    write-ahead primitive.
+:mod:`repro.store.locking`
+    Advisory ``fcntl`` file locks with stale-lock detection/takeover.
+:mod:`repro.store.durable`
+    :class:`DurableStore`: content-verified entries behind a manifest
+    journal, bounded quarantine, and crash recovery.
+:mod:`repro.store.chaos`
+    Deterministic ENOSPC/torn-write injection for the chaos harness.
+
+`harness.resultcache.ResultCache` and `machine.replay.TraceStore` are
+both thin codecs over :class:`DurableStore`, so there is exactly one
+fsync/rename/lock implementation to audit — the same consolidation the
+paper's indexed SRF performs on ad-hoc per-client access paths.
+"""
+
+from repro.store.chaos import CHAOS_ENV, StoreChaos, chaos_from_env
+from repro.store.durable import (
+    DEFAULT_QUARANTINE_CAP,
+    QUARANTINE_CAP_ENV,
+    DurableStore,
+    default_quarantine_cap,
+)
+from repro.store.journal import Journal, decode_line, encode_record
+from repro.store.locking import FileLock, pid_alive
+
+__all__ = [
+    "CHAOS_ENV",
+    "DEFAULT_QUARANTINE_CAP",
+    "QUARANTINE_CAP_ENV",
+    "DurableStore",
+    "FileLock",
+    "Journal",
+    "StoreChaos",
+    "chaos_from_env",
+    "decode_line",
+    "default_quarantine_cap",
+    "encode_record",
+    "pid_alive",
+]

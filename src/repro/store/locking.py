@@ -1,0 +1,210 @@
+"""Advisory file locking with stale-lock detection and takeover.
+
+Mutations of a :class:`~repro.store.durable.DurableStore` — journal
+appends, entry placement, recovery, compaction — are serialized by one
+:class:`FileLock` per store directory. The primary mechanism is
+``fcntl.flock``, which the kernel releases automatically when the
+holder dies, so a crashed writer can never wedge the store. For
+filesystems where ``flock`` is unsupported (some network mounts return
+``ENOLCK``/``ENOSYS``) the lock degrades to an ``O_EXCL`` lock *file*;
+that mode genuinely can go stale, so the holder's pid is recorded in
+the file and a waiter that finds the recorded pid dead (``/proc``
+liveness) takes the lock over, logging nothing but replacing the owner
+record.
+
+The owner record (pid, hostname, monotonic-free timestamp) is written
+in both modes — under ``flock`` it is purely diagnostic, surfaced by
+:class:`~repro.errors.LockTimeout` so "who is blocking the store" is
+answerable from the exception text alone.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import socket
+import time
+
+from repro.errors import LockTimeout
+
+try:  # pragma: no cover - fcntl exists on every platform CI runs on
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+#: Default seconds to wait for a contended lock before LockTimeout.
+DEFAULT_TIMEOUT_S = 30.0
+
+#: Poll interval while waiting for a contended lock.
+POLL_INTERVAL_S = 0.02
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (permission-safe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def _owner_record() -> dict:
+    return {
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+        "time": time.time(),
+    }
+
+
+class FileLock:
+    """One advisory lock file; reentrant within a process via nesting.
+
+    Use as a context manager::
+
+        with FileLock(os.path.join(directory, "lock")):
+            ...  # exclusive store mutation
+
+    Re-entering from the same :class:`FileLock` instance is permitted
+    (a depth counter — the store's public methods call each other);
+    distinct instances in one process still exclude each other through
+    the OS lock, as separate processes do.
+    """
+
+    def __init__(self, path: str, timeout: float = DEFAULT_TIMEOUT_S):
+        self.path = path
+        self.timeout = timeout
+        self._fd: "int | None" = None
+        self._depth = 0
+        self._exclusive_mode = False  # O_EXCL fallback engaged
+
+    # ------------------------------------------------------------------
+    def owner(self) -> "dict | None":
+        """The recorded owner of the lock file, when readable."""
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read(4096)
+        except OSError:
+            return None
+        try:
+            record = json.loads(data)
+        except ValueError:
+            return None
+        return record if isinstance(record, dict) else None
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        if self._depth > 0:
+            self._depth += 1
+            return
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self._try_acquire():
+                self._depth = 1
+                return
+            if time.monotonic() >= deadline:
+                owner = self.owner()
+                holder = ""
+                if owner:
+                    holder = (f" (held by pid {owner.get('pid')} on "
+                              f"{owner.get('host')})")
+                raise LockTimeout(
+                    f"could not lock {self.path} within "
+                    f"{self.timeout:g}s{holder}",
+                    path=self.path, owner=owner,
+                )
+            time.sleep(POLL_INTERVAL_S)
+
+    def _try_acquire(self) -> bool:
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError as exc:
+                os.close(fd)
+                if exc.errno in (errno.ENOLCK, errno.ENOSYS,
+                                 errno.EOPNOTSUPP):
+                    return self._try_acquire_exclusive()
+                return False  # held by a live process
+            self._fd = fd
+            self._exclusive_mode = False
+            self._stamp_owner(fd)
+            return True
+        return self._try_acquire_exclusive()  # pragma: no cover
+
+    def _try_acquire_exclusive(self) -> bool:
+        """O_EXCL fallback: create-or-steal a pid-stamped lock file."""
+        try:
+            fd = os.open(self.path,
+                         os.O_RDWR | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            owner = self.owner()
+            if owner is not None and pid_alive(int(owner.get("pid", -1))):
+                return False  # live holder: keep waiting
+            # Stale lock: the recorded holder is dead (or the record is
+            # unreadable garbage from a torn write). Take it over by
+            # removing the file and racing to recreate it; losing the
+            # race just means someone else took it over first.
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+            try:
+                fd = os.open(self.path,
+                             os.O_RDWR | os.O_CREAT | os.O_EXCL, 0o644)
+            except OSError:
+                return False
+        except OSError:
+            return False
+        self._fd = fd
+        self._exclusive_mode = True
+        self._stamp_owner(fd)
+        return True
+
+    def _stamp_owner(self, fd: int) -> None:
+        try:
+            os.ftruncate(fd, 0)
+            os.pwrite(fd, json.dumps(_owner_record()).encode(), 0)
+        except OSError:
+            pass  # diagnostic only
+
+    # ------------------------------------------------------------------
+    def release(self) -> None:
+        if self._depth == 0:
+            return
+        self._depth -= 1
+        if self._depth > 0 or self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        if self._exclusive_mode:
+            # Remove the lock file *before* closing so a waiter polling
+            # O_EXCL can immediately recreate it; flock mode keeps the
+            # file (the kernel lock is what matters there).
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        elif fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+        os.close(fd)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+    @property
+    def held(self) -> bool:
+        return self._depth > 0

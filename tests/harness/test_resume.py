@@ -1,0 +1,379 @@
+"""Sweep resume, error classification, deadline, and orphan reaping."""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.errors import ReproError, SweepInterrupted
+from repro.harness import runner
+from repro.harness.__main__ import _parse_args, main
+from repro.harness.sweep import (
+    SWEEP_JOURNAL_NAME,
+    SweepJournal,
+    default_sweep_journal,
+    sweep_fingerprint,
+)
+from repro.harness.runner import (
+    RETRY_BACKOFF_MAX_S,
+    classify_error,
+    failed,
+    run_many,
+)
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "src")
+
+
+def install_fakes(monkeypatch, log_path, spec):
+    """Replace the experiment registry with logging fakes.
+
+    ``spec`` maps name -> callable or None (None = succeed). Every
+    execution appends the experiment name to ``log_path`` — an on-disk
+    side effect, so executions inside forked workers are counted too.
+    """
+    registry = {}
+    for name, behaviour in spec.items():
+        def fake(name=name, behaviour=behaviour):
+            with open(log_path, "a") as handle:
+                handle.write(name + "\n")
+            if behaviour is not None:
+                behaviour()
+            return {"text": f"{name} output", "value": len(name)}
+        registry[name] = fake
+    monkeypatch.setattr(runner, "EXPERIMENTS", registry)
+
+
+def executions(log_path):
+    try:
+        with open(log_path) as handle:
+            return [line.strip() for line in handle if line.strip()]
+    except OSError:
+        return []
+
+
+class TestResume:
+    def test_resume_requires_journal(self):
+        with pytest.raises(ValueError, match="sweep_journal"):
+            run_many(["table3"], resume=True)
+
+    def test_completed_sweep_resumes_as_pure_replay(self, tmp_path,
+                                                    monkeypatch):
+        log = tmp_path / "log"
+        journal = str(tmp_path / SWEEP_JOURNAL_NAME)
+        install_fakes(monkeypatch, log, {"expa": None, "expb": None})
+        first, _ = run_many(["expa", "expb"], sweep_journal=journal)
+        assert executions(log) == ["expa", "expb"]
+        resumed, timings = run_many(["expa", "expb"],
+                                    sweep_journal=journal, resume=True)
+        assert executions(log) == ["expa", "expb"]  # nothing re-ran
+        assert resumed == first
+        assert set(timings) == {"expa", "expb"}
+
+    def test_interrupted_sweep_resumes_where_it_left_off(
+            self, tmp_path, monkeypatch):
+        log = tmp_path / "log"
+        journal = str(tmp_path / SWEEP_JOURNAL_NAME)
+
+        def interrupt():
+            raise KeyboardInterrupt
+
+        install_fakes(monkeypatch, log,
+                      {"expa": None, "expb": interrupt, "expc": None})
+        with pytest.raises(SweepInterrupted) as info:
+            run_many(["expa", "expb", "expc"], sweep_journal=journal)
+        assert "resumable" in str(info.value)
+        assert "text" in info.value.results["expa"]
+        # Heal expb and resume: expa must be served, not re-executed.
+        install_fakes(monkeypatch, log,
+                      {"expa": None, "expb": None, "expc": None})
+        results, _ = run_many(["expa", "expb", "expc"],
+                              sweep_journal=journal, resume=True)
+        assert executions(log) == ["expa", "expb", "expb", "expc"]
+        assert all("text" in results[n] for n in ("expa", "expb", "expc"))
+
+    def test_isolated_resume_counts_via_disk(self, tmp_path,
+                                             monkeypatch):
+        """Fork-based workers re-execute nothing on resume either."""
+        log = tmp_path / "log"
+        journal = str(tmp_path / SWEEP_JOURNAL_NAME)
+        install_fakes(monkeypatch, log, {"expa": None, "expb": None})
+        first, _ = run_many(["expa", "expb"], jobs=2,
+                            sweep_journal=journal)
+        ran = executions(log)
+        assert sorted(ran) == ["expa", "expb"]
+        resumed, _ = run_many(["expa", "expb"], jobs=2,
+                              sweep_journal=journal, resume=True)
+        assert executions(log) == ran
+        assert resumed == first
+
+    def test_stale_journal_restarted_not_served(self, tmp_path,
+                                                monkeypatch):
+        log = tmp_path / "log"
+        journal = str(tmp_path / SWEEP_JOURNAL_NAME)
+        install_fakes(monkeypatch, log, {"expa": None})
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        run_many(["expa"], sweep_journal=journal)
+        # A result-affecting env overlay changed: the journaled result
+        # was computed under different conditions and must not be
+        # served.
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        run_many(["expa"], sweep_journal=journal, resume=True)
+        assert executions(log) == ["expa", "expa"]
+
+    def test_failed_experiments_are_retried_on_resume(self, tmp_path,
+                                                      monkeypatch):
+        """Only completions are served; journaled failures re-run."""
+        log = tmp_path / "log"
+        journal = str(tmp_path / SWEEP_JOURNAL_NAME)
+
+        def boom():
+            raise ValueError("deterministic failure")
+
+        install_fakes(monkeypatch, log, {"expa": None, "expb": boom})
+        results, _ = run_many(["expa", "expb"], sweep_journal=journal)
+        assert failed(results["expb"])
+        install_fakes(monkeypatch, log, {"expa": None, "expb": None})
+        results, _ = run_many(["expa", "expb"], sweep_journal=journal,
+                              resume=True)
+        assert executions(log) == ["expa", "expb", "expb"]
+        assert "text" in results["expb"]
+
+
+class TestSweepJournalUnits:
+    def test_empty_journal_is_incompatible(self, tmp_path):
+        journal = SweepJournal(str(tmp_path / "j"))
+        state = journal.load()
+        assert state.header is None
+        assert not state.compatible()
+
+    def test_begin_makes_compatible(self, tmp_path):
+        journal = SweepJournal(str(tmp_path / "j"))
+        journal.begin(["a", "b"])
+        assert journal.load().compatible()
+
+    def test_launch_without_done_is_in_flight(self, tmp_path):
+        journal = SweepJournal(str(tmp_path / "j"))
+        journal.begin(["a"])
+        journal.record_launch("a", attempt=1)
+        state = journal.load()
+        assert state.in_flight == {"a"}
+        assert not state.complete
+
+    def test_done_round_trips_the_result(self, tmp_path):
+        journal = SweepJournal(str(tmp_path / "j"))
+        journal.begin(["a"])
+        journal.record_launch("a", attempt=1)
+        journal.record_done("a", {"text": "hi", "rows": [1, 2]}, 1.5)
+        journal.record_complete()
+        state = journal.load()
+        result, elapsed = state.completed["a"]
+        assert result == {"text": "hi", "rows": [1, 2]}
+        assert elapsed == 1.5
+        assert state.in_flight == set()
+        assert state.complete
+
+    def test_unpicklable_result_is_skipped_not_fatal(self, tmp_path):
+        journal = SweepJournal(str(tmp_path / "j"))
+        journal.begin(["a"])
+        journal.record_done("a", {"handle": open(os.devnull)}, 0.1)
+        assert "a" not in journal.load().completed
+
+    def test_fingerprint_tracks_result_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        small = sweep_fingerprint()
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert sweep_fingerprint() != small
+
+    def test_default_journal_lives_in_cache_dir(self):
+        assert default_sweep_journal("/x/cache") == \
+            os.path.join("/x/cache", SWEEP_JOURNAL_NAME)
+
+
+class TestErrorClassification:
+    @pytest.mark.parametrize("exc,kind", [
+        (ValueError("x"), "deterministic"),
+        (TypeError("x"), "deterministic"),
+        (AssertionError("x"), "deterministic"),
+        (ReproError("x"), "deterministic"),
+        (OSError("x"), "transient"),
+        (MemoryError(), "transient"),
+        (TimeoutError(), "transient"),
+        (RuntimeError("x"), "transient"),  # unknown: retry is cheap
+    ])
+    def test_classify(self, exc, kind):
+        assert classify_error(exc) == kind
+
+    def test_deterministic_failure_not_retried(self, tmp_path,
+                                               monkeypatch):
+        log = tmp_path / "log"
+
+        def boom():
+            raise ValueError("same result every time")
+
+        install_fakes(monkeypatch, log, {"expa": boom})
+        results, _ = run_many(["expa"], jobs=2)
+        assert failed(results["expa"])
+        assert results["expa"]["attempts"] == 1
+        assert results["expa"]["error_kind"] == "deterministic"
+        assert executions(log) == ["expa"]
+
+    def test_transient_failure_retried(self, tmp_path, monkeypatch):
+        log = tmp_path / "log"
+
+        def flaky():
+            raise OSError("might work next time")
+
+        install_fakes(monkeypatch, log, {"expa": flaky})
+        results, _ = run_many(["expa"], jobs=2)
+        assert failed(results["expa"])
+        assert results["expa"]["attempts"] == 2
+        assert results["expa"]["error_kind"] == "transient"
+        assert executions(log) == ["expa", "expa"]
+
+    def test_retry_delay_is_bounded(self):
+        for attempt in range(2, 12):
+            for _ in range(20):
+                delay = runner._retry_delay(attempt)
+                assert 0.0 <= delay <= RETRY_BACKOFF_MAX_S
+
+
+class TestDeadline:
+    def test_serial_deadline_produces_structured_failures(
+            self, tmp_path, monkeypatch):
+        log = tmp_path / "log"
+        install_fakes(monkeypatch, log, {
+            "expa": lambda: time.sleep(0.3),
+            "expb": None,
+            "expc": None,
+        })
+        results, timings = run_many(["expa", "expb", "expc"],
+                                    deadline=0.2)
+        assert "text" in results["expa"]
+        for name in ("expb", "expc"):
+            assert failed(results[name])
+            assert results[name]["error_kind"] == "deadline"
+            assert "deadline" in results[name]["error"]
+        assert set(timings) == {"expa", "expb", "expc"}
+        assert executions(log) == ["expa"]
+
+    def test_isolated_deadline_stops_in_flight_workers(
+            self, tmp_path, monkeypatch):
+        log = tmp_path / "log"
+        install_fakes(monkeypatch, log, {
+            "expa": lambda: time.sleep(30),
+            "expb": lambda: time.sleep(30),
+        })
+        start = time.monotonic()
+        results, _ = run_many(["expa", "expb"], jobs=2, deadline=0.5)
+        assert time.monotonic() - start < 20
+        for name in ("expa", "expb"):
+            assert failed(results[name])
+            assert results[name]["error_kind"] == "deadline"
+
+
+class TestCliFlags:
+    def test_deadline_needs_a_number(self, capsys):
+        assert main(["--deadline", "soon"]) == 2
+        assert "--deadline needs a number" in capsys.readouterr().err
+
+    def test_deadline_must_be_positive(self, capsys):
+        assert main(["--deadline", "-3"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_resume_conflicts_with_no_cache(self, capsys):
+        assert main(["--resume", "--no-cache"]) == 2
+        assert "--resume requires" in capsys.readouterr().err
+
+    def test_parse_resume_and_deadline(self):
+        names, options = _parse_args(
+            ["table3", "--resume", "--deadline", "5"]
+        )
+        assert names == ["table3"]
+        assert options["resume"] is True
+        assert options["deadline"] == 5.0
+
+
+class TestOrphanReaping:
+    """Satellite regression: draining a sweep leaves no processes.
+
+    The parent receives SIGTERM mid-sweep; workers — and the
+    grandchildren they spawned — must all be gone afterwards. Checked
+    via a marker environment variable scanned in ``/proc/*/environ``
+    (no psutil available, none needed).
+    """
+
+    SCRIPT = textwrap.dedent("""
+        import subprocess, sys, time
+        sys.path.insert(0, sys.argv[1])
+        from repro.harness import runner
+
+        def spawner():
+            subprocess.Popen(["sleep", "300"])  # a grandchild
+            time.sleep(300)
+            return {"text": "unreachable"}
+
+        runner.EXPERIMENTS = {"spawna": spawner, "spawnb": spawner}
+        print("ready", flush=True)
+        try:
+            runner.run_many(["spawna", "spawnb"], jobs=2)
+        except BaseException as exc:
+            print(f"drained: {type(exc).__name__}", flush=True)
+    """)
+
+    @staticmethod
+    def marked_pids(token):
+        needle = f"REPRO_ORPHAN_MARK={token}".encode()
+        found = []
+        for entry in os.listdir("/proc"):
+            if not entry.isdigit():
+                continue
+            try:
+                with open(f"/proc/{entry}/environ", "rb") as handle:
+                    if needle in handle.read():
+                        found.append(int(entry))
+            except OSError:
+                continue
+        return found
+
+    def test_sigterm_drain_leaves_no_orphans(self, tmp_path):
+        token = f"orphan-test-{os.getpid()}-{time.time_ns()}"
+        env = dict(os.environ)
+        env["REPRO_ORPHAN_MARK"] = token
+        proc = subprocess.Popen(
+            [sys.executable, "-c", self.SCRIPT, SRC],
+            env=env, stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "ready"
+            # Let both workers start and spawn their grandchildren.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if len(self.marked_pids(token)) >= 3:  # parent + workers
+                    break
+                time.sleep(0.05)
+            time.sleep(0.3)
+            proc.send_signal(signal.SIGTERM)
+            assert "drained: SweepInterrupted" in proc.stdout.read()
+            proc.wait(timeout=15)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # Everything carrying the marker must exit promptly.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if not self.marked_pids(token):
+                return
+            time.sleep(0.1)
+        leftover = self.marked_pids(token)
+        for pid in leftover:  # clean up before failing loudly
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:
+                pass
+        pytest.fail(f"orphan processes survived the drain: {leftover}")

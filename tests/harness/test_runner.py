@@ -283,7 +283,12 @@ class TestResultCache:
         (tmp_path / "leftover.tmp").write_bytes(b"")
         (tmp_path / "stale.pkl.bad").write_bytes(b"garbage")
         assert cache.clear() == 1
-        assert not list(tmp_path.iterdir())  # debris deleted regardless
+        # Debris is deleted regardless; only the store's own metadata
+        # (manifest journal, lock file) may remain.
+        from repro.store.durable import LOCK_NAME, MANIFEST_NAME
+
+        leftover = {p.name for p in tmp_path.iterdir()}
+        assert leftover <= {MANIFEST_NAME, LOCK_NAME}
 
     def test_run_benchmark_uses_installed_cache(self, tmp_path):
         cache = ResultCache(str(tmp_path))

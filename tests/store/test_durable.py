@@ -1,0 +1,251 @@
+"""Durable store: WAL ordering, verification, quarantine, recovery."""
+
+import os
+import subprocess
+import sys
+
+from repro.store.chaos import CHAOS_ENV
+from repro.store.durable import (
+    COMPACTION_FLOOR,
+    LOCK_NAME,
+    MANIFEST_NAME,
+    QUARANTINE_CAP_ENV,
+    DurableStore,
+    default_quarantine_cap,
+)
+
+
+def make(tmp_path, **kwargs):
+    kwargs.setdefault("fsync", False)
+    return DurableStore(str(tmp_path), **kwargs)
+
+
+def dead_pid():
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestRoundtrip:
+    def test_put_get(self, tmp_path):
+        store = make(tmp_path)
+        assert store.put_bytes("alpha", b"payload")
+        assert store.get_bytes("alpha") == b"payload"
+        assert store.contains("alpha")
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = make(tmp_path)
+        assert store.get_bytes("ghost") is None
+        assert not store.contains("ghost")
+
+    def test_overwrite(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("key", b"old")
+        store.put_bytes("key", b"new")
+        assert store.get_bytes("key") == b"new"
+
+    def test_fresh_instance_reads_previous_writes(self, tmp_path):
+        make(tmp_path).put_bytes("key", b"persisted")
+        assert make(tmp_path).get_bytes("key") == b"persisted"
+
+    def test_suffix_namespacing(self, tmp_path):
+        store = make(tmp_path, suffix=".trace.gz")
+        store.put_bytes("key", b"data")
+        assert os.path.exists(tmp_path / "key.trace.gz")
+
+    def test_delete(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("key", b"data")
+        assert store.delete("key")
+        assert store.get_bytes("key") is None
+        assert not store.delete("key")
+
+
+class TestWriteAheadOrdering:
+    def test_entry_is_journaled_before_visible(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("key", b"data")
+        ops = [r["op"] for r in store.journal.records()]
+        assert "put" in ops
+        record = [r for r in store.journal.records()
+                  if r.get("key") == "key"][0]
+        assert record["size"] == 4
+
+    def test_no_tmp_left_after_put(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("key", b"data")
+        assert store.stats()["tmp"] == 0
+
+    def test_unjournaled_entry_quarantined_on_read(self, tmp_path):
+        """A foreign file the manifest never heard of is untrusted."""
+        store = make(tmp_path)
+        store.put_bytes("real", b"data")  # directory now exists
+        with open(tmp_path / "foreign.pkl", "wb") as handle:
+            handle.write(b"who wrote this?")
+        assert store.get_bytes("foreign") is None
+        assert not os.path.exists(tmp_path / "foreign.pkl")
+        assert os.path.exists(tmp_path / "foreign.pkl.bad")
+
+
+class TestVerification:
+    def test_corrupt_entry_quarantined(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("key", b"good data")
+        with open(store.path("key"), "wb") as handle:
+            handle.write(b"bit rot")
+        assert store.get_bytes("key") is None
+        assert store.quarantine_count() == 1
+        assert store.get_bytes("key") is None  # stays a miss
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("key", b"x" * 100)
+        with open(store.path("key"), "r+b") as handle:
+            handle.truncate(10)
+        assert store.get_bytes("key") is None
+        assert store.quarantine_count() == 1
+
+    def test_good_entries_unaffected_by_bad_neighbours(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("good", b"fine")
+        store.put_bytes("bad", b"doomed")
+        with open(store.path("bad"), "wb") as handle:
+            handle.write(b"garbage")
+        assert store.get_bytes("bad") is None
+        assert store.get_bytes("good") == b"fine"
+
+
+class TestQuarantineCap:
+    def test_cap_bounds_bad_files(self, tmp_path):
+        store = make(tmp_path, quarantine_cap=3)
+        for i in range(6):
+            store.put_bytes(f"key{i}", b"data")
+            with open(store.path(f"key{i}"), "wb") as handle:
+                handle.write(b"corrupt")
+            assert store.get_bytes(f"key{i}") is None
+        assert store.quarantine_count() <= 3
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(QUARANTINE_CAP_ENV, "7")
+        assert default_quarantine_cap() == 7
+        assert make(tmp_path).quarantine_cap == 7
+
+    def test_env_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv(QUARANTINE_CAP_ENV, "lots")
+        assert default_quarantine_cap() == 32
+
+
+class TestClear:
+    def test_counts_only_real_entries(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("a", b"1")
+        store.put_bytes("b", b"2")
+        with open(tmp_path / ".c.12345.tmp", "wb") as handle:
+            handle.write(b"staging")
+        with open(tmp_path / "d.pkl.bad", "wb") as handle:
+            handle.write(b"quarantined")
+        assert store.clear() == 2
+        leftover = set(os.listdir(tmp_path))
+        assert leftover <= {MANIFEST_NAME, LOCK_NAME}
+        assert store.journal.records() == [{"op": "clear"}]
+
+
+class TestRecovery:
+    def test_dead_writer_tmp_swept(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("real", b"data")
+        stale = tmp_path / f".victim.{dead_pid()}.tmp"
+        with open(stale, "wb") as handle:
+            handle.write(b"half-written")
+        report = store.recover()
+        assert report["stale_tmp"] == 1
+        assert not os.path.exists(stale)
+
+    def test_live_writer_tmp_kept(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("real", b"data")
+        live = tmp_path / f".inflight.{os.getpid()}.tmp"
+        with open(live, "wb") as handle:
+            handle.write(b"still being written")
+        report = store.recover()
+        assert report["stale_tmp"] == 0
+        assert os.path.exists(live)
+
+    def test_torn_manifest_tail_repaired(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("key", b"data")
+        with open(store.journal.path, "ab") as handle:
+            handle.write(b"0123456789abcdef {torn")  # no newline
+        report = store.recover()
+        assert report["torn_journal_records"] == 1
+        assert store.journal.read()[1] == 0  # clean after repair
+        assert store.get_bytes("key") == b"data"
+
+    def test_unjournaled_entries_quarantined(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("real", b"data")
+        with open(tmp_path / "foreign.pkl", "wb") as handle:
+            handle.write(b"unjournaled")
+        report = store.recover()
+        assert report["unjournaled"] == 1
+        assert store.fsck()["unjournaled"] == 0
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("key", b"data")
+        store.recover()
+        report = store.recover()
+        assert report == {"stale_tmp": 0, "torn_journal_records": 0,
+                          "unjournaled": 0, "compacted": False}
+
+    def test_compaction_when_manifest_dwarfs_entries(self, tmp_path):
+        store = make(tmp_path)
+        for _ in range(COMPACTION_FLOOR + 10):
+            store.put_bytes("key", b"data")
+        report = store.recover()
+        assert report["compacted"]
+        assert len(store.journal.records()) == 1
+        assert store.get_bytes("key") == b"data"
+
+
+class TestFsck:
+    def test_clean_store(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("a", b"1")
+        store.put_bytes("b", b"2")
+        report = store.fsck()
+        assert report["entries"] == 2
+        assert report["checksum_failures"] == 0
+        assert report["unjournaled"] == 0
+        assert report["tmp"] == 0
+
+    def test_detects_corruption_without_repairing(self, tmp_path):
+        store = make(tmp_path)
+        store.put_bytes("key", b"data")
+        with open(store.path("key"), "wb") as handle:
+            handle.write(b"flip")
+        report = store.fsck()
+        assert report["checksum_failures"] == 1
+        assert os.path.exists(store.path("key"))  # fsck is read-only
+
+
+class TestChaosInjection:
+    def test_enospc_put_fails_cleanly(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "seed=1,enospc=1.0")
+        store = make(tmp_path)
+        assert not store.put_bytes("key", b"data")
+        assert store.get_bytes("key") is None
+        assert store.stats() == {"entries": 0, "quarantined": 0,
+                                 "tmp": 0}
+
+    def test_torn_commit_detected_on_read(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "seed=1,torn=1.0")
+        store = make(tmp_path)
+        assert store.put_bytes("key", b"x" * 64)  # commit "succeeds"
+        assert store.get_bytes("key") is None  # ...but never served
+        assert store.quarantine_count() == 1
+
+    def test_chaos_disabled_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        store = make(tmp_path)
+        assert store._chaos is None

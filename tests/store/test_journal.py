@@ -1,0 +1,115 @@
+"""Checksummed append-only journal: torn tails, corruption, rewrite."""
+
+import os
+
+import pytest
+
+from repro.store.journal import (
+    CHECKSUM_HEX,
+    Journal,
+    decode_line,
+    encode_record,
+)
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        record = {"op": "put", "key": "abc", "size": 3}
+        assert decode_line(encode_record(record)) == record
+
+    def test_line_shape(self):
+        line = encode_record({"a": 1})
+        checksum, _, rest = line.partition(b" ")
+        assert len(checksum) == CHECKSUM_HEX
+        assert rest.endswith(b"\n")
+
+    def test_missing_newline_is_torn(self):
+        line = encode_record({"a": 1})
+        assert decode_line(line[:-1]) is None
+
+    def test_truncated_payload_fails_checksum(self):
+        line = encode_record({"a": 1})
+        assert decode_line(line[:-3] + b"\n") is None
+
+    def test_flipped_byte_fails_checksum(self):
+        line = bytearray(encode_record({"key": "value"}))
+        line[CHECKSUM_HEX + 3] ^= 0xFF
+        assert decode_line(bytes(line)) is None
+
+    def test_non_dict_payload_rejected(self):
+        import hashlib
+        import json
+
+        payload = json.dumps([1, 2, 3]).encode()
+        checksum = hashlib.sha256(payload).hexdigest()[:CHECKSUM_HEX]
+        line = checksum.encode() + b" " + payload + b"\n"
+        assert decode_line(line) is None
+
+
+class TestJournal:
+    def make(self, tmp_path):
+        return Journal(str(tmp_path / "test.journal"), fsync=False)
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        journal = self.make(tmp_path)
+        assert not journal.exists()
+        assert journal.read() == ([], 0)
+
+    def test_append_then_read(self, tmp_path):
+        journal = self.make(tmp_path)
+        records = [{"n": i} for i in range(5)]
+        for record in records:
+            journal.append(record)
+        assert journal.read() == (records, 0)
+
+    def test_torn_tail_dropped_not_raised(self, tmp_path):
+        journal = self.make(tmp_path)
+        journal.append({"n": 0})
+        journal.append({"n": 1})
+        # Chop the final line mid-payload: a crash during append.
+        with open(journal.path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            handle.truncate(handle.tell() - 4)
+        assert journal.read() == ([{"n": 0}], 1)
+
+    def test_corrupt_middle_stops_the_read(self, tmp_path):
+        journal = self.make(tmp_path)
+        for i in range(3):
+            journal.append({"n": i})
+        with open(journal.path, "rb") as handle:
+            lines = handle.readlines()
+        lines[1] = b"garbage line\n"
+        with open(journal.path, "wb") as handle:
+            handle.writelines(lines)
+        records, dropped = journal.read()
+        assert records == [{"n": 0}]
+        assert dropped == 2  # the bad line and everything after it
+
+    def test_rewrite_replaces_contents(self, tmp_path):
+        journal = self.make(tmp_path)
+        for i in range(10):
+            journal.append({"n": i})
+        journal.rewrite([{"compacted": True}])
+        assert journal.read() == ([{"compacted": True}], 0)
+        leftovers = [name for name in os.listdir(tmp_path)
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_append_after_rewrite(self, tmp_path):
+        journal = self.make(tmp_path)
+        journal.rewrite([{"n": 0}])
+        journal.append({"n": 1})
+        assert journal.records() == [{"n": 0}, {"n": 1}]
+
+    def test_append_creates_parent_directory(self, tmp_path):
+        journal = Journal(str(tmp_path / "deep" / "dir" / "j.log"),
+                          fsync=False)
+        journal.append({"ok": True})
+        assert journal.records() == [{"ok": True}]
+
+    @pytest.mark.parametrize("count", [0, 1, 7])
+    def test_records_helper(self, tmp_path, count):
+        journal = self.make(tmp_path)
+        for i in range(count):
+            journal.append({"n": i})
+        assert len(journal.records()) == count
