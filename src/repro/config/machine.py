@@ -30,6 +30,10 @@ BACKEND_KINDS = ("scalar", "vector")
 #: details (see :attr:`MachineConfig.timing_source`).
 TIMING_SOURCES = ("execute", "replay")
 
+#: Cycle engines driving the timing model (see
+#: :attr:`MachineConfig.timing_engine`).
+TIMING_ENGINES = ("object", "columnar")
+
 
 class SrfMode(enum.Enum):
     """How the SRF may be accessed in a given machine configuration."""
@@ -129,6 +133,18 @@ class MachineConfig:
     #: replay requires an active :func:`repro.machine.replay.session`
     #: (without one, or under fault injection, runs execute normally).
     timing_source: str = "execute"
+    #: Cycle engine driving the timing model: "object" steps the
+    #: Python-object machine graph one cycle at a time (the reference
+    #: engine); "columnar" (see :mod:`repro.machine.columnar`) keeps SRF
+    #: completion state in flat calendar columns and batch-steps
+    #: event-horizon windows (drain loops, stall windows) that the
+    #: object engine walks cycle by cycle. Both engines produce
+    #: bit-identical :class:`ProgramStats`; "columnar" is purely a
+    #: simulation speed knob, not a machine parameter, and runs fall
+    #: back to the object engine for configurations the columnar engine
+    #: does not model exactly (fault injection, sanitize, per-event
+    #: tracing/metrics/profiling, fast_forward=False).
+    timing_engine: str = "object"
     #: Abort a run after this many cycles without forward progress (a bug
     #: in the program or the model). ``None`` uses the simulator default
     #: (:data:`repro.machine.processor.DEADLOCK_CYCLES`).
@@ -342,6 +358,11 @@ class MachineConfig:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r} "
                 f"(known: {', '.join(BACKEND_KINDS)})"
+            )
+        if self.timing_engine not in TIMING_ENGINES:
+            raise ConfigurationError(
+                f"unknown timing_engine {self.timing_engine!r} "
+                f"(known: {', '.join(TIMING_ENGINES)})"
             )
         if self.timing_source not in TIMING_SOURCES:
             raise ConfigurationError(

@@ -198,6 +198,10 @@ class IndexedStream:
     barrier on write drain at kernel end.
     """
 
+    #: Reorder-buffer class hook: timing-engine subclasses (see
+    #: :mod:`repro.machine.columnar`) substitute a due-tracking variant.
+    ROB_CLS = ReorderBuffer
+
     def __init__(self, srf: "StreamRegisterFile", descriptor: StreamDescriptor):
         if descriptor.kind.is_sequential:
             raise SrfError(f"{descriptor.name}: not an indexed stream kind")
@@ -211,7 +215,7 @@ class IndexedStream:
         ]
         if descriptor.kind.is_read:
             self.robs = [
-                ReorderBuffer(cfg.stream_buffer_words) for _ in range(lanes)
+                self.ROB_CLS(cfg.stream_buffer_words) for _ in range(lanes)
             ]
         else:
             self.robs = None
@@ -338,6 +342,11 @@ class StreamRegisterFile:
     over cross-lane data returns (§4.5).
     """
 
+    #: Indexed-stream class hook: timing-engine subclasses (see
+    #: :mod:`repro.machine.columnar`) substitute a variant whose reorder
+    #: buffers track fill due cycles.
+    INDEXED_STREAM_CLS = IndexedStream
+
     def __init__(self, config: MachineConfig):
         config.validate()
         self.config = config
@@ -443,7 +452,7 @@ class StreamRegisterFile:
                 f"machine '{self.config.name}' has a sequential-only SRF; "
                 f"cannot open indexed stream {descriptor.name}"
             )
-        stream = IndexedStream(self, descriptor)
+        stream = self.INDEXED_STREAM_CLS(self, descriptor)
         self._indexed[descriptor.stream_id] = stream
         self._indexed_list.append(stream)
         if self._tracer is not None:
@@ -790,17 +799,22 @@ class StreamRegisterFile:
                 f"{stream.pending_words} queued words, "
                 f"{stream.outstanding_writes} outstanding writes"
             )
-        if self._in_flight:
-            lines.append(
-                f"{len(self._in_flight)} pipelined accesses in flight "
-                f"(next due cycle {self._in_flight[0][0]})"
-            )
+        lines.extend(self._inflight_lines())
         if self.return_network.pending():
             lines.append(
                 f"{self.return_network.pending()} words waiting in "
                 f"return-network queues"
             )
         return lines
+
+    def _inflight_lines(self) -> list:
+        """Forensic lines about pipelined completions still in flight."""
+        if not self._in_flight:
+            return []
+        return [
+            f"{len(self._in_flight)} pipelined accesses in flight "
+            f"(next due cycle {self._in_flight[0][0]})"
+        ]
 
     @property
     def idle(self) -> bool:

@@ -126,6 +126,11 @@ class ReorderBuffer:
     reserved slot has been filled. This reproduces the stall behaviour of
     Figure 9: a cluster trying to read data whose access was delayed by a
     sub-array conflict stalls even if younger accesses completed.
+
+    Invariant relied on by the columnar timing engine
+    (:mod:`repro.machine.columnar`): tickets are dense and ascending, so
+    the slot at position ``k`` (oldest first) always holds ticket
+    ``_head_ticket + k``.
     """
 
     def __init__(self, capacity_words: int):

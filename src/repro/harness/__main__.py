@@ -21,8 +21,8 @@ import json
 import os
 import sys
 
-from repro.config.machine import BACKEND_KINDS
-from repro.config.presets import BACKEND_ENV, REPLAY_ENV
+from repro.config.machine import BACKEND_KINDS, TIMING_ENGINES
+from repro.config.presets import BACKEND_ENV, REPLAY_ENV, TIMING_ENGINE_ENV
 from repro.errors import SweepInterrupted
 from repro.harness import figures, runner
 from repro.harness.resultcache import default_cache_dir
@@ -59,6 +59,12 @@ options:
                    sweeps from the recorded trace (bit-identical
                    stats). Traces live in <cache-dir>/traces.
                    Equivalent to setting REPRO_REPLAY=1.
+  --timing-engine E  cycle engine driving the timing model: object
+                   (reference) or columnar (calendar-queue SRF with
+                   batch-stepped drain windows; bit-identical stats,
+                   faster — falls back to object for faulted /
+                   sanitized / traced configs). Equivalent to setting
+                   REPRO_TIMING_ENGINE.
   --list           list experiment names and exit
 
 Workload scale is chosen by the REPRO_SCALE environment variable
@@ -115,13 +121,15 @@ def _parse_args(argv):
     options = {"json": None, "jobs": 1, "cache_dir": default_cache_dir(),
                "no_cache": False, "list": False, "timeout": None,
                "fail_fast": False, "trace_path": None, "backend": None,
-               "replay": False, "deadline": None, "resume": False}
+               "replay": False, "deadline": None, "resume": False,
+               "timing_engine": None}
     names = []
     position = 0
     while position < len(argv):
         token = argv[position]
         if token in ("--json", "--jobs", "--cache-dir", "--timeout",
-                     "--trace-path", "--backend", "--deadline"):
+                     "--trace-path", "--backend", "--deadline",
+                     "--timing-engine"):
             if position + 1 >= len(argv):
                 raise ValueError(f"{token} requires a value")
             value = argv[position + 1]
@@ -138,6 +146,13 @@ def _parse_args(argv):
                         f"{', '.join(BACKEND_KINDS)}; got {value!r}"
                     )
                 options["backend"] = value
+            elif token == "--timing-engine":
+                if value not in TIMING_ENGINES:
+                    raise ValueError(
+                        f"--timing-engine must be one of "
+                        f"{', '.join(TIMING_ENGINES)}; got {value!r}"
+                    )
+                options["timing_engine"] = value
             elif token in ("--timeout", "--deadline"):
                 field = token.lstrip("-")
                 try:
@@ -218,6 +233,9 @@ def main(argv=None) -> int:
     # So does the replay timing source.
     if options["replay"]:
         os.environ[REPLAY_ENV] = "1"
+    # And the timing engine.
+    if options["timing_engine"] is not None:
+        os.environ[TIMING_ENGINE_ENV] = options["timing_engine"]
     # Forked workers inherit the path, so isolated runs see it too.
     figures.set_trace_path(options["trace_path"])
     scale = figures.default_scale()

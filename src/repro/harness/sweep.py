@@ -55,7 +55,7 @@ SWEEP_JOURNAL_NAME = "sweep.journal"
 #: overlay is never served under another.
 RESULT_ENV_VARS = (
     "REPRO_SCALE", "REPRO_BACKEND", "REPRO_REPLAY", "REPRO_FAULTS",
-    "REPRO_TRACE",
+    "REPRO_TRACE", "REPRO_TIMING_ENGINE",
 )
 
 

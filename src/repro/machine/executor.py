@@ -373,6 +373,17 @@ class KernelExecutor:
         """Microcode-load cycles left before the first loop iteration."""
         return self._startup_remaining
 
+    @property
+    def steady_skippable(self) -> bool:
+        """Whether the processor may bulk-skip this kernel's quiet cycles.
+
+        Quiet-cycle accounting itself is engine-independent (see
+        :meth:`next_quiet_cycles`); this flag records which executors
+        the steady-state skip has been enabled for. The columnar timing
+        engine (:mod:`repro.machine.columnar`) turns it on always.
+        """
+        return self.vector_active or self.replay_active
+
     def fast_forward(self, cycles: int) -> None:
         """Consume ``cycles`` of the fixed startup delay in bulk.
 

@@ -52,10 +52,23 @@ DEADLOCK_CYCLES = 200_000
 class StreamProcessor:
     """A complete simulated machine built from a :class:`MachineConfig`."""
 
+    #: Component class hooks: the columnar timing engine
+    #: (:mod:`repro.machine.columnar`) substitutes calendar-queue /
+    #: batch-stepping variants without re-wiring the machine.
+    SRF_CLS = StreamRegisterFile
+    EXECUTOR_CLS = KernelExecutor
+    #: Which timing engine this processor class implements
+    #: (:attr:`MachineConfig.timing_engine`).
+    engine = "object"
+    #: Whether :meth:`run_program` batch-steps drain windows (stretches
+    #: where only the memory controller and SRF need real per-cycle
+    #: ticks while the executor provably just counts cycles).
+    _drain_windows = False
+
     def __init__(self, config: MachineConfig):
         config.validate()
         self.config = config
-        self.srf = StreamRegisterFile(config)
+        self.srf = self.SRF_CLS(config)
         self.memory = MainMemory(row_words=config.dram_row_words)
         self.controller = MemoryController(config, self.srf, self.memory)
         self.scheduler = ModuloScheduler(ClusterResources.from_config(config))
@@ -256,7 +269,7 @@ class StreamProcessor:
                                             program_trace, index, task.work
                                         )
                                     )
-                            executor = KernelExecutor(
+                            executor = self.EXECUTOR_CLS(
                                 self.config, self.srf, task.work, schedule,
                                 observer=self.observer,
                                 record_to=record_to,
@@ -314,8 +327,12 @@ class StreamProcessor:
                     continue
             elif (
                 use_fast_forward and running is not None
-                and (running[1].vector_active or running[1].replay_active)
+                and not self._drain_windows
+                and running[1].steady_skippable
             ):
+                # (Drain-window engines fold this skip into the drain
+                # block below — its event-horizon jump covers exactly
+                # these cycles without re-deriving the quiet window.)
                 # Steady-state skip inside a running kernel (vector
                 # backend or trace replay): stretches where the executor
                 # provably just counts cycles between software-pipeline
@@ -333,6 +350,106 @@ class StreamProcessor:
                         last_progress_cycle = self.cycle + 1
                     self.cycle += skip
                     if self.cycle - last_progress_cycle > limit:
+                        raise self._deadlock(
+                            program, limit, remaining_count,
+                            mem_waiting, kernel_waiting, running, completed,
+                        )
+                    continue
+
+            # Drain window (columnar engine): a stretch of cycles where
+            # the executor provably only counts — startup countdown,
+            # quiet software-pipeline gaps, or a head event stalled on
+            # fills with known due cycles — while the memory controller
+            # and SRF still need real ticks. Tick those two in a tight
+            # loop and charge the executor in bulk; bit-identical to
+            # per-cycle stepping because a skipped executor step could
+            # neither fire events, issue iterations, carry a comm, nor
+            # finish the kernel. The loop breaks the moment a memory op
+            # completes so dependent tasks issue on the same cycle as
+            # per-cycle stepping would.
+            if (
+                self._drain_windows and use_fast_forward
+                and running is not None
+            ):
+                executor = running[1]
+                startup = executor.startup_remaining
+                if startup > 0:
+                    window = startup
+                    mode = 0
+                else:
+                    quiet = executor.next_quiet_cycles()
+                    if quiet > 0:
+                        window = quiet
+                        mode = 1
+                    else:
+                        window = executor.stall_window(self.cycle)
+                        mode = 2
+                effective = (
+                    self.cycle + 1 if progressed else last_progress_cycle
+                )
+                window = min(window, effective + limit + 1 - self.cycle)
+                if window > 1:
+                    controller = self.controller
+                    srf = self.srf
+                    base_ops = controller.completed_ops
+                    cycle0 = self.cycle
+                    bound = cycle0 + window
+                    stepped = 0
+                    while stepped < window:
+                        c = cycle0 + stepped
+                        # Event-horizon jump: when neither the SRF nor
+                        # the memory controller can change state before
+                        # some future cycle (their documented
+                        # next_event_cycle / fast_forward contract),
+                        # skip straight to the earlier of that event
+                        # and the window end instead of ticking inert
+                        # cycles one by one. In-flight SRF completions
+                        # keep `srf.idle` False, so the steady branch
+                        # above can never capture these stretches.
+                        srf_next = srf.next_event_cycle(c)
+                        if srf_next is None or srf_next > c:
+                            mem_next = controller.next_event_cycle(c)
+                            if mem_next is None or mem_next > c:
+                                nxt = bound
+                                if srf_next is not None and srf_next < nxt:
+                                    nxt = srf_next
+                                if mem_next is not None and mem_next < nxt:
+                                    nxt = mem_next
+                                if nxt > c:
+                                    skip = nxt - c
+                                    controller.fast_forward(skip)
+                                    srf.fast_forward(skip)
+                                    stepped += skip
+                                    continue
+                        controller.tick(c)
+                        srf.tick(c, False)
+                        stepped += 1
+                        if controller.completed_ops != base_ops:
+                            break
+                    if mode == 0:
+                        executor.fast_forward(stepped)
+                    elif mode == 1:
+                        executor.fast_forward_steady(stepped)
+                    else:
+                        executor.fast_forward_stalled(stepped)
+                    if progressed:
+                        last_progress_cycle = cycle0 + 1
+                    self.cycle = cycle0 + stepped
+                    if controller.completed_ops != base_ops:
+                        # Retire completed memory ops (mirrors the
+                        # per-cycle retirement block below).
+                        retired_ops = controller.completed_ops
+                        still_inflight = []
+                        for task in mem_inflight:
+                            if controller.is_complete(task.work.op_id):
+                                completed.add(task.task_id)
+                                remaining_count -= 1
+                                scan_needed = True
+                            else:
+                                still_inflight.append(task)
+                        mem_inflight = still_inflight
+                        last_progress_cycle = self.cycle
+                    elif self.cycle - last_progress_cycle > limit:
                         raise self._deadlock(
                             program, limit, remaining_count,
                             mem_waiting, kernel_waiting, running, completed,

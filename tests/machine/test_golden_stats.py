@@ -98,6 +98,24 @@ class TestGoldenStats:
         result = fft.run(config, n=FFT_N).require_verified()
         assert fingerprint(result.stats) == golden[preset]
 
+    def test_columnar_engine_is_inert(self, golden, preset):
+        """The columnar timing engine is a pure simulation-speed knob:
+        it must reproduce the *object-engine-generated* fixture
+        bit-for-bit, not merely be self-consistent."""
+        config = all_configs()[preset].replace(timing_engine="columnar")
+        result = fft.run(config, n=FFT_N).require_verified()
+        assert fingerprint(result.stats) == golden[preset]
+
+    def test_columnar_engine_with_vector_backend_is_inert(self, golden,
+                                                          preset):
+        """Both speed knobs together still pin the fixture: drain
+        windows charge exactly what per-cycle stepping would."""
+        config = all_configs()[preset].replace(
+            timing_engine="columnar", backend="vector"
+        )
+        result = fft.run(config, n=FFT_N).require_verified()
+        assert fingerprint(result.stats) == golden[preset]
+
     def test_vector_backend_with_observability_is_inert(self, golden,
                                                         preset):
         """Steady-state fast-forward windows charge the profiler and

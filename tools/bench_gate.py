@@ -1,4 +1,4 @@
-"""Vector-backend and trace-replay performance regression gates.
+"""Vector-backend, trace-replay, and timing-engine regression gates.
 
 Measures ``benchmarks/bench_headline_claims.py`` wall-clock under
 pytest-benchmark on both backends (via the ``REPRO_BACKEND`` overlay),
@@ -6,7 +6,12 @@ plus the per-engine-path workloads in
 ``benchmarks/bench_backend_speed.py`` as diagnostics, and compares the
 headline vector/scalar ratio against the committed
 ``BENCH_BASELINE.json``. It also runs ``tools/replay_sweep.py`` and
-gates the replay/execute sweep speedup the same way:
+gates the replay/execute sweep speedup the same way, and runs
+``benchmarks/bench_timing_engine.py`` to gate the columnar timing
+engine's object/columnar wall-clock speedup (aggregate over the
+workload set — honest measured number, not an aspiration; it fails
+when the columnar engine regresses below
+``baseline_speedup * (1 - tolerance)``):
 
     PYTHONPATH=src python tools/bench_gate.py            # gate
     PYTHONPATH=src python tools/bench_gate.py --update   # re-baseline
@@ -36,6 +41,7 @@ import tempfile
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(REPO, "BENCH_BASELINE.json")
 SPEED_FILE = os.path.join(REPO, "benchmarks", "bench_backend_speed.py")
+TIMING_FILE = os.path.join(REPO, "benchmarks", "bench_timing_engine.py")
 HEADLINE_FILE = os.path.join(REPO, "benchmarks",
                              "bench_headline_claims.py")
 REPLAY_SWEEP = os.path.join(REPO, "tools", "replay_sweep.py")
@@ -97,6 +103,27 @@ def run_benchmarks() -> dict:
     return timings
 
 
+def run_timing_engine_benchmarks() -> dict:
+    """Measure the timing engines; returns workload -> engine -> seconds."""
+    timings = {}
+    for bench in _pytest_benchmark(TIMING_FILE)["benchmarks"]:
+        workload = bench["params"]["workload"]
+        engine = bench["params"]["engine"]
+        timings.setdefault(workload, {})[engine] = bench["stats"]["min"]
+    return timings
+
+
+def timing_engine_speedup(timings: dict) -> float:
+    """Aggregate object/columnar speedup over the workload set.
+
+    Summing seconds before dividing weights each workload by its real
+    runtime, matching what a user of the engine experiences end to end.
+    """
+    total_object = sum(t["object"] for t in timings.values())
+    total_columnar = sum(t["columnar"] for t in timings.values())
+    return total_object / total_columnar
+
+
 def run_replay_sweep() -> dict:
     """Measure the replay sweep; returns the best-of-N sweep report.
 
@@ -134,7 +161,8 @@ def ratios_of(timings: dict) -> dict:
     }
 
 
-def gate(timings: dict, replay_report: dict, baseline: dict) -> int:
+def gate(timings: dict, replay_report: dict, engine_timings: dict,
+         baseline: dict) -> int:
     tolerance = baseline.get("tolerance", 0.20)
     measured = ratios_of(timings)
     print(f"{'workload':<12} {'scalar s':>9} {'vector s':>9} "
@@ -172,18 +200,44 @@ def gate(timings: dict, replay_report: dict, baseline: dict) -> int:
         status = 1
     else:
         print("OK: within tolerance")
+    engine_base = baseline.get("timing_engine")
+    if engine_base is None:
+        print("FAIL: no timing-engine baseline recorded; "
+              "run with --update")
+        return 1
+    engine_tolerance = engine_base.get("tolerance", 0.20)
+    print(f"\n{'workload':<12} {'object s':>9} {'columnar s':>11} "
+          f"{'speedup':>8}")
+    for workload, engines in sorted(engine_timings.items()):
+        print(f"{workload:<12} {engines['object']:>9.3f} "
+              f"{engines['columnar']:>11.3f} "
+              f"{engines['object'] / engines['columnar']:>8.3f}")
+    engine_speedup = timing_engine_speedup(engine_timings)
+    engine_floor = engine_base["speedup"] * (1 - engine_tolerance)
+    print(f"timing-engine object/columnar speedup: "
+          f"{engine_speedup:.3f}x (baseline "
+          f"{engine_base['speedup']:.3f}x, floor {engine_floor:.3f}x)")
+    if engine_speedup < engine_floor:
+        print(f"FAIL: columnar timing engine regressed beyond "
+              f"{engine_tolerance:.0%} on bench_timing_engine")
+        status = 1
+    else:
+        print("OK: within tolerance")
     return status
 
 
-def update(timings: dict, replay_report: dict) -> None:
+def update(timings: dict, replay_report: dict,
+           engine_timings: dict) -> None:
     ratios = ratios_of(timings)
     baseline = {
         "_comment": (
-            "Vector-backend and trace-replay speed baseline; see "
-            "tools/bench_gate.py. Gated metrics: the 'headline' "
-            "vector/scalar wall-clock ratio and the replay/execute "
-            "sweep speedup (both machine-independent); other workloads "
-            "and recorded seconds are diagnostic."
+            "Vector-backend, trace-replay, and timing-engine speed "
+            "baseline; see tools/bench_gate.py. Gated metrics: the "
+            "'headline' vector/scalar wall-clock ratio, the "
+            "replay/execute sweep speedup, and the aggregate "
+            "object/columnar timing-engine speedup (all "
+            "machine-independent); other workloads and recorded "
+            "seconds are diagnostic."
         ),
         "tolerance": 0.20,
         "ratios": {w: round(r, 3) for w, r in ratios.items()},
@@ -194,6 +248,21 @@ def update(timings: dict, replay_report: dict) -> None:
                 key: replay_report[key]
                 for key in ("sweep_points", "execute_s", "record_s",
                             "replay_s")
+            },
+        },
+        "timing_engine": {
+            "tolerance": 0.20,
+            "speedup": round(timing_engine_speedup(engine_timings), 3),
+            "workload_speedups": {
+                workload: round(
+                    engines["object"] / engines["columnar"], 3
+                )
+                for workload, engines in sorted(engine_timings.items())
+            },
+            "recorded_seconds": {
+                workload: {engine: round(seconds, 3)
+                           for engine, seconds in sorted(engines.items())}
+                for workload, engines in sorted(engine_timings.items())
             },
         },
         "recorded_seconds": {
@@ -215,6 +284,7 @@ def main() -> int:
     args = parser.parse_args()
     timings = run_benchmarks()
     replay_report = run_replay_sweep()
+    engine_timings = run_timing_engine_benchmarks()
     if args.update:
         # Measure twice, keep the per-cell best: one outlier round on a
         # busy machine must not bake a skewed ratio into the baseline.
@@ -224,7 +294,13 @@ def main() -> int:
                 timings[workload][backend] = min(
                     timings[workload][backend], seconds
                 )
-        update(timings, replay_report)
+        second_engines = run_timing_engine_benchmarks()
+        for workload, engines in second_engines.items():
+            for engine, seconds in engines.items():
+                engine_timings[workload][engine] = min(
+                    engine_timings[workload][engine], seconds
+                )
+        update(timings, replay_report, engine_timings)
         return 0
     try:
         with open(BASELINE_PATH) as handle:
@@ -233,7 +309,7 @@ def main() -> int:
         raise SystemExit(
             f"missing {BASELINE_PATH}; run with --update to create it"
         )
-    return gate(timings, replay_report, baseline)
+    return gate(timings, replay_report, engine_timings, baseline)
 
 
 if __name__ == "__main__":
