@@ -2,9 +2,10 @@
 
 Builds every shipped benchmark's steady-state program on every machine
 preset and runs the kernel verifier plus the program analyzer over it.
-The exit status is 0 only when no error-level finding exists anywhere
-— which makes this invocation directly usable as a CI gate (and it is
-one; see .github/workflows/ci.yml).
+Exit status follows the shared CLI convention in :mod:`repro.exitcodes`
+(0 clean / 1 error-level findings / 2 usage error) — the same contract
+as ``python -m repro.selfcheck`` — which makes this invocation directly
+usable as a CI gate (and it is one; see .github/workflows/ci.yml).
 
 Usage::
 
@@ -22,6 +23,7 @@ import sys
 from repro.analyze.diagnostics import Severity
 from repro.analyze.driver import APP_NAMES, DEFAULT_REPS, check_app
 from repro.config.presets import all_configs
+from repro.exitcodes import EXIT_CLEAN, EXIT_FINDINGS
 
 
 def main(argv=None) -> int:
@@ -80,9 +82,9 @@ def main(argv=None) -> int:
                 failures += 1
     if failures:
         print(f"{failures} app/preset combination(s) FAILED analysis")
-        return 1
+        return EXIT_FINDINGS
     print("static analysis clean: no error-level findings")
-    return 0
+    return EXIT_CLEAN
 
 
 if __name__ == "__main__":

@@ -1,0 +1,32 @@
+"""Shared exit-code convention for the repo's checker CLIs.
+
+``python -m repro.analyze`` (stream-program static analysis) and
+``python -m repro.selfcheck`` (simulator-source self-check) gate CI and
+are scripted against; both follow one documented convention:
+
+``EXIT_CLEAN`` (0)
+    The checker ran to completion and found no error-level finding.
+``EXIT_FINDINGS`` (1)
+    The checker ran to completion and at least one error-level finding
+    (or a ratchet/baseline violation) survived.
+``EXIT_USAGE`` (2)
+    The invocation itself was wrong (unknown flag, unknown app/config,
+    unreadable path). Argparse's native usage failures also exit 2, so
+    every bad invocation lands here regardless of which layer rejects
+    it.
+
+The harness CLI (``python -m repro.harness``) shares 0/1/2 and extends
+the convention with 130 for an interrupted-and-drained sweep; see
+:mod:`repro.harness.__main__`.
+"""
+
+from __future__ import annotations
+
+#: Checker completed; no error-level findings.
+EXIT_CLEAN = 0
+
+#: Checker completed; error-level findings (or baseline violations).
+EXIT_FINDINGS = 1
+
+#: Bad invocation (usage error); nothing was checked.
+EXIT_USAGE = 2

@@ -27,6 +27,7 @@ from repro.errors import SweepInterrupted
 from repro.harness import figures, runner
 from repro.harness.resultcache import default_cache_dir
 from repro.harness.sweep import default_sweep_journal
+from repro.store.atomic import atomic_write_text
 
 USAGE = """\
 usage: python -m repro.harness [EXPERIMENT ...] [options]
@@ -295,8 +296,9 @@ def main(argv=None) -> int:
         }
         if store_stats:
             payload["store"] = store_stats
-        with open(options["json"], "w") as handle:
-            json.dump(payload, handle, indent=2)
+        # Atomic + durable: a crash mid-dump must not leave a torn
+        # report for a consumer to half-parse.
+        atomic_write_text(options["json"], json.dumps(payload, indent=2))
         print(f"wrote {options['json']}")
     if failures:
         print(

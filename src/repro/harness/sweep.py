@@ -41,6 +41,7 @@ import os
 import pickle
 from dataclasses import dataclass, field
 
+from repro.config.overlays import RESULT_AFFECTING
 from repro.fingerprint import code_fingerprint
 from repro.store.journal import Journal
 
@@ -52,11 +53,10 @@ SWEEP_JOURNAL_NAME = "sweep.journal"
 
 #: Environment variables that change experiment *results*; they are
 #: folded into the journal fingerprint so a journal recorded under one
-#: overlay is never served under another.
-RESULT_ENV_VARS = (
-    "REPRO_SCALE", "REPRO_BACKEND", "REPRO_REPLAY", "REPRO_FAULTS",
-    "REPRO_TRACE", "REPRO_TIMING_ENGINE",
-)
+#: overlay is never served under another. Sourced from the central
+#: overlay registry (:mod:`repro.config.overlays`) so a new
+#: result-affecting variable can never be forgotten here.
+RESULT_ENV_VARS = RESULT_AFFECTING
 
 
 def default_sweep_journal(cache_dir: str) -> str:

@@ -67,6 +67,7 @@ from repro.machine.processor import StreamProcessor
 _SINGLE = (0,)
 
 __all__ = [
+    "COLUMNAR_MODELED_FIELDS",
     "ColumnarExecutor",
     "ColumnarProcessor",
     "ColumnarSrf",
@@ -74,6 +75,29 @@ __all__ = [
     "columnar_eligible",
     "engine_for",
 ]
+
+#: Config knobs the object engine consults that the columnar engine
+#: models *exactly* — no fallback needed. Every simulation/
+#: observability/fault knob the object-engine modules read must appear
+#: either here or in a :func:`columnar_eligible` check; the
+#: ``repro.selfcheck`` fallback pass (code ``SC501``) enforces that
+#: exhaustively, so a new special-cased knob cannot silently produce
+#: wrong columnar timings. Each entry carries its justification:
+COLUMNAR_MODELED_FIELDS = frozenset({
+    # Functional-evaluation backend: both engines drive the identical
+    # kernel interpreters; the engine only re-times completion events.
+    "backend",
+    # Execute-vs-replay only changes where iteration details come
+    # from; the equivalence suite runs both engines in both modes.
+    "timing_source",
+    # The watchdog threshold: ColumnarProcessor inherits the object
+    # engine's deadlock accounting unchanged (event-horizon jumps
+    # count the skipped cycles).
+    "deadlock_cycles",
+    # Word protection is timing/data-inert without fault strikes, and
+    # any config that can strike (faults_enabled) already falls back.
+    "srf_protection", "memory_protection",
+})
 
 
 def columnar_eligible(config: MachineConfig) -> tuple:

@@ -34,10 +34,12 @@ fingerprint (:func:`functional_fingerprint`) is the full
 :func:`repro.fingerprint.config_fingerprint` minus an explicit
 blacklist of *timing-only* fields (:data:`TIMING_ONLY_FIELDS`):
 latencies, bandwidths, separations, network/arbitration policies,
-simulation and observability knobs. The blacklist direction is the safe
-one — a new config field is treated as functional (fragmenting the
-trace space at worst) until proven timing-only. Any simulator source
-edit rotates the code fingerprint and orphans every stored trace.
+simulation and observability knobs. The blacklist must exactly
+complement :data:`repro.fingerprint.FUNCTIONAL_FIELDS` over the config
+field set — an unclassified new field raises before any trace is keyed
+(and fails ``repro.selfcheck`` statically), so a field can never
+silently land on the wrong side of the key. Any simulator source edit
+rotates the code fingerprint and orphans every stored trace.
 
 Fault injection changes functional data (bit flips), so faulted
 configs never record or replay — the processor falls back to plain
@@ -72,7 +74,11 @@ import pickle
 from dataclasses import dataclass, field
 
 from repro.errors import ReplayError
-from repro.fingerprint import code_fingerprint, config_fingerprint
+from repro.fingerprint import (
+    check_field_partition,
+    code_fingerprint,
+    config_fingerprint,
+)
 from repro.kernel.ops import OpKind
 from repro.store import DurableStore
 
@@ -86,9 +92,12 @@ REPLAY_DATA_KINDS = (
 )
 
 #: MachineConfig fields that can never change functional kernel data —
-#: everything else participates in the trace key. Kept as an explicit
-#: blacklist so new fields default to *functional* (safe: at worst a
-#: redundant re-record, never a wrong replay).
+#: everything else participates in the trace key. Must exactly
+#: complement :data:`repro.fingerprint.FUNCTIONAL_FIELDS`: an
+#: unclassified new field fails both the runtime partition check in
+#: :func:`functional_fingerprint` and the static ``repro.selfcheck``
+#: fingerprint pass, so a field can never silently join (or leave)
+#: the trace key.
 TIMING_ONLY_FIELDS = frozenset({
     # Labels and clocking (config.name only feeds report labels).
     "name", "clock_hz",
@@ -126,16 +135,20 @@ def functional_fingerprint(config) -> str:
     Two configs with equal functional fingerprints produce identical
     kernel data on every benchmark, so they can share one recorded
     trace (e.g. ISRF1 and ISRF4, which differ only in name and indexed
-    bandwidths). A blacklist entry that no longer names a real field
-    raises — a renamed field must not silently widen the key.
+    bandwidths). The blacklist must exactly complement
+    :data:`repro.fingerprint.FUNCTIONAL_FIELDS` over the MachineConfig
+    field set (:func:`repro.fingerprint.check_field_partition`): a
+    stale or unclassified field raises — a renamed field must not
+    silently widen the key, and a new field must be classified before
+    any trace can be recorded under it.
     """
-    fields = dataclasses.asdict(config)
-    stale = TIMING_ONLY_FIELDS - fields.keys()
-    if stale:
+    problems = check_field_partition(TIMING_ONLY_FIELDS)
+    if problems:
         raise ReplayError(
-            f"TIMING_ONLY_FIELDS names unknown config fields: "
-            f"{', '.join(sorted(stale))}"
+            "MachineConfig field classification broken: "
+            + "; ".join(problems)
         )
+    fields = dataclasses.asdict(config)
     functional = [
         (name, value) for name, value in fields.items()
         if name not in TIMING_ONLY_FIELDS

@@ -33,6 +33,7 @@ from repro.observe.events import (
     PHASES,
     Tracer,
 )
+from repro.store.atomic import atomic_write_text
 
 #: Filename suffix of staged (not yet renamed) trace exports.
 STAGING_SUFFIX = ".trace.tmp"
@@ -194,20 +195,16 @@ def staging_path(path: str, experiment: "str | None" = None,
 
 def write_trace(payload: dict, path: str, experiment: "str | None" = None,
                 staging_dir: "str | None" = None) -> str:
-    """Atomically write a trace JSON object to ``path``; returns it."""
+    """Atomically write a trace JSON object to ``path``; returns it.
+
+    Delegates the staging/fsync/rename dance to
+    :func:`repro.store.atomic.atomic_write_text` — the one audited
+    write path — while keeping the per-experiment staging filename so
+    crashed workers' leftovers stay attributable to
+    :func:`cleanup_orphan_traces`.
+    """
     temp_path = staging_path(path, experiment, staging_dir)
-    os.makedirs(os.path.dirname(os.path.abspath(temp_path)), exist_ok=True)
-    try:
-        with open(temp_path, "w") as handle:
-            json.dump(payload, handle)
-        os.replace(temp_path, os.path.abspath(path))
-    finally:
-        if os.path.exists(temp_path):
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-    return path
+    return atomic_write_text(path, json.dumps(payload), staging=temp_path)
 
 
 def cleanup_orphan_traces(directory: str,

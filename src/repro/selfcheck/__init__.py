@@ -1,0 +1,24 @@
+"""Codebase-invariant linter for the simulator's own source.
+
+``repro.selfcheck`` statically enforces the cross-cutting contracts the
+test suite can only probe pointwise: every :class:`MachineConfig` field
+classified functional vs timing-only, every ``REPRO_*`` environment
+overlay registered and documented, no ambient entropy inside the
+simulated machine, durable writes routed through :mod:`repro.store`,
+and the columnar engine's fallback matrix kept complete. Run it with
+``python -m repro.selfcheck``; see DESIGN.md §4k for the pass
+architecture and the full code table.
+"""
+
+from repro.selfcheck.core import Finding, LintContext, SourceFile, SourceTree
+from repro.selfcheck.driver import ALL_CODES, SelfcheckReport, run_selfcheck
+
+__all__ = [
+    "ALL_CODES",
+    "Finding",
+    "LintContext",
+    "SelfcheckReport",
+    "SourceFile",
+    "SourceTree",
+    "run_selfcheck",
+]

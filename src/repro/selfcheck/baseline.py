@@ -1,0 +1,111 @@
+"""Ratchet baseline: grandfathered findings that may only shrink.
+
+A checked-in JSON file (``selfcheck-baseline.json`` at the repository
+root) lists findings that predate a pass and are consciously tolerated.
+Baselined findings are still reported, but do not fail the run. The
+ratchet is one-directional by construction:
+
+* A finding **not** covered by the baseline fails the run — the
+  baseline cannot absorb new debt unless someone edits the checked-in
+  file (which is what code review is for, and CI separately asserts
+  the shipped baseline stays empty).
+* A baseline entry whose finding no longer fires is itself an error
+  (``SC004``): once debt is paid, the entry must be deleted (run
+  ``python -m repro.selfcheck --write-baseline``), so the file always
+  reflects reality and can never hide a regression behind a stale
+  allowance.
+
+Entries key on ``(code, path, context)`` with a count — line numbers
+would churn on every unrelated edit above the finding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.selfcheck.core import Finding
+
+#: Bump when the baseline schema changes; mismatched files are rejected.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or structurally invalid."""
+
+
+@dataclass
+class BaselineMatch:
+    """Result of applying a baseline to a finding list."""
+
+    #: Findings still failing the run (not absorbed by the baseline).
+    active: "list[Finding]"
+    #: Findings absorbed by baseline entries (reported, non-fatal).
+    grandfathered: "list[Finding]"
+    #: ``(code, path, context, unused_count)`` for stale entries.
+    stale: "list[tuple[str, str, str, int]]"
+
+
+def load_baseline(path: str) -> "Counter[tuple[str, str, str]]":
+    """Load a baseline file into a key -> allowed-count counter."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise BaselineError(f"{path}: unreadable: {error}") from None
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"{path}: not valid JSON: {error}") from None
+    if not isinstance(payload, dict) \
+            or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: expected a version-{BASELINE_VERSION} baseline object"
+        )
+    allowed: "Counter[tuple[str, str, str]]" = Counter()
+    for entry in payload.get("findings", ()):
+        if not isinstance(entry, dict) or not entry.get("code") \
+                or "path" not in entry or "context" not in entry:
+            raise BaselineError(f"{path}: malformed entry {entry!r}")
+        key = (str(entry["code"]), str(entry["path"]),
+               str(entry["context"]))
+        count = entry.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise BaselineError(f"{path}: bad count in entry {entry!r}")
+        allowed[key] += count
+    return allowed
+
+
+def apply_baseline(findings: "list[Finding]",
+                   allowed: "Counter[tuple[str, str, str]]") -> BaselineMatch:
+    """Split ``findings`` into active vs grandfathered; report stale."""
+    remaining = Counter(allowed)
+    active: "list[Finding]" = []
+    grandfathered: "list[Finding]" = []
+    for finding in findings:
+        if remaining.get(finding.key, 0) > 0:
+            remaining[finding.key] -= 1
+            grandfathered.append(finding)
+        else:
+            active.append(finding)
+    stale = [
+        (code, path, context, count)
+        for (code, path, context), count in sorted(remaining.items())
+        if count > 0
+    ]
+    return BaselineMatch(active=active, grandfathered=grandfathered,
+                         stale=stale)
+
+
+def render_baseline(findings: "list[Finding]") -> str:
+    """Serialize ``findings`` as a baseline file (deterministic JSON)."""
+    counts: "Counter[tuple[str, str, str]]" = Counter(
+        finding.key for finding in findings
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"code": code, "path": path, "context": context, "count": count}
+            for (code, path, context), count in sorted(counts.items())
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -1,0 +1,127 @@
+"""Selfcheck driver: parse the tree, run every pass, apply the ratchet."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analyze.diagnostics import Severity
+from repro.selfcheck.baseline import apply_baseline, load_baseline
+from repro.selfcheck.core import (
+    FRAMEWORK_CODES,
+    Finding,
+    LintContext,
+    SourceTree,
+)
+from repro.selfcheck.passes import ALL_PASSES, PASS_CODES
+
+#: Every code the tool can emit, for suppression validation and docs.
+ALL_CODES = {**FRAMEWORK_CODES, **PASS_CODES}
+
+
+@dataclass
+class SelfcheckReport:
+    """Outcome of one selfcheck run over one source tree."""
+
+    root: str
+    #: Files scanned (rel paths).
+    scanned: "list[str]" = field(default_factory=list)
+    #: Findings that fail the run (not absorbed by the baseline).
+    active: "list[Finding]" = field(default_factory=list)
+    #: Findings absorbed by the ratchet baseline (reported, non-fatal).
+    grandfathered: "list[Finding]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+    def to_payload(self) -> "dict[str, object]":
+        def rows(findings: "list[Finding]") -> "list[dict[str, object]]":
+            return [
+                {
+                    "severity": finding.severity.value,
+                    "code": finding.code,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "context": finding.context,
+                    "message": finding.message,
+                }
+                for finding in findings
+            ]
+
+        return {
+            "root": self.root,
+            "scanned": len(self.scanned),
+            "ok": self.ok,
+            "active": rows(self.active),
+            "grandfathered": rows(self.grandfathered),
+        }
+
+
+def _finding_order(finding: Finding) -> "tuple[str, int, str, str]":
+    return (finding.path, finding.line, finding.code, finding.message)
+
+
+def run_selfcheck(root: str, baseline_path: "str | None" = None,
+                  env_md_path: "str | None" = None) -> SelfcheckReport:
+    """Scan ``root``, run every pass, and apply the baseline ratchet."""
+    tree = SourceTree(root)
+    ctx = LintContext(tree, env_md_path=env_md_path)
+
+    for sf in tree.files:
+        if sf.parse_error is not None:
+            ctx.emit(
+                "SC001",
+                f"file does not parse: {sf.parse_error.msg}",
+                path=sf.rel, line=sf.parse_error.lineno or 0,
+                context="<module>",
+            )
+    for pass_module in ALL_PASSES:
+        pass_module.run(ctx)
+
+    # Suppression hygiene: every suppression comment must have absorbed
+    # a finding (SC002) and name a code the tool can emit (SC003).
+    for sf in tree.files:
+        for line, codes in sorted(sf.suppressions.items()):
+            for code in sorted(codes):
+                if code != "all" and code not in ALL_CODES:
+                    ctx.emit(
+                        "SC003",
+                        f"suppression names unknown code {code!r}",
+                        path=sf.rel, line=line,
+                        context=sf.context_at(line),
+                    )
+                elif (line, code) not in sf.used_suppressions:
+                    ctx.emit(
+                        "SC002",
+                        f"suppression of {code} absorbed no finding — "
+                        f"delete the stale comment",
+                        path=sf.rel, line=line,
+                        context=sf.context_at(line),
+                    )
+
+    findings = sorted(ctx.findings, key=_finding_order)
+
+    allowed: "Counter[tuple[str, str, str]]" = Counter()
+    if baseline_path is not None:
+        allowed = load_baseline(baseline_path)
+    match = apply_baseline(findings, allowed)
+    active = list(match.active)
+    for code, path, context, count in match.stale:
+        active.append(Finding(
+            severity=Severity.ERROR, code="SC004",
+            message=(
+                f"baseline entry ({code}, {path!r}, {context!r}) is "
+                f"stale — the finding fires {count} fewer time(s) than "
+                f"allowed; shrink the baseline "
+                f"(python -m repro.selfcheck --write-baseline)"
+            ),
+            path=path, context=context,
+        ))
+
+    return SelfcheckReport(
+        root=tree.root,
+        scanned=[sf.rel for sf in tree.files],
+        active=sorted(active, key=_finding_order),
+        grandfathered=list(match.grandfathered),
+    )

@@ -1,0 +1,226 @@
+"""Fallback-matrix pass: the columnar engine declines what it can't model.
+
+The columnar timing engine (PR 8) is only allowed to run when it is
+bit-identical to the object engine; ``columnar_eligible`` in
+``machine/columnar.py`` is the gate that falls back to the object
+engine for configurations it does not model. The failure mode this
+pass exists for: someone adds a simulation knob, wires it into the
+object engine, and forgets the gate — the columnar engine then runs
+for configs it silently mis-models, and the bit-identical proof rots.
+
+The contract, checked statically:
+
+    every *knob* consulted by object-engine code must be either
+    (a) checked by ``columnar_eligible`` (it declines), or
+    (b) listed in ``COLUMNAR_MODELED_FIELDS`` (it models it exactly,
+        with a justification comment).
+
+*Knobs* are the MachineConfig fields under the ``Simulation knobs``,
+``Observability``, and ``Fault injection`` section headers — machine
+*parameters* (lane counts, latencies) are both engines' shared input
+and are out of scope. Reads through MachineConfig ``@property``
+wrappers (``faults_enabled``) are expanded to the fields the property
+reads.
+
+Codes:
+
+* ``SC501`` — a knob the object engine consults is neither checked by
+  ``columnar_eligible`` nor declared modeled;
+* ``SC502`` — a ``COLUMNAR_MODELED_FIELDS`` entry that is stale (not a
+  knob the object engine consults — the declaration outlived the code);
+* ``SC505`` — an anchor is missing (gate function, modeled set, or the
+  knob sections parsed to nothing).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.selfcheck.core import LintContext, SourceFile
+from repro.selfcheck.passes.fingerprint import dataclass_fields, string_set
+
+NAME = "fallback"
+
+CODES = {
+    "SC501": "object-engine knob not covered by columnar_eligible or "
+             "COLUMNAR_MODELED_FIELDS",
+    "SC502": "stale COLUMNAR_MODELED_FIELDS entry",
+    "SC505": "fallback-matrix anchor (gate, modeled set, or knob "
+             "sections) not found",
+}
+
+MACHINE_FILE = "config/machine.py"
+COLUMNAR_FILE = "machine/columnar.py"
+
+#: Files that implement the object (reference) engine.
+OBJECT_ENGINE_FILES = ("machine/processor.py", "machine/executor.py")
+OBJECT_ENGINE_PREFIXES = ("core/", "memory/", "interconnect/")
+
+#: MachineConfig section headers whose fields count as knobs.
+_KNOB_SECTIONS = ("Simulation knobs", "Observability", "Fault injection")
+
+_SECTION_RE = re.compile(r"^\s*#\s*---\s*(.+?)\s*-+\s*$")
+
+#: Names an expression must have to count as "the config object".
+_CONFIG_NAMES = ("config", "cfg", "_config", "machine_config")
+
+
+def knob_fields(machine: SourceFile) -> "set[str]":
+    """MachineConfig fields under the knob section headers."""
+    fields = dataclass_fields(machine, "MachineConfig")
+    if fields is None:
+        return set()
+    #: line -> section title, from the comment headers.
+    sections: "list[tuple[int, str]]" = []
+    for number, line in enumerate(machine.lines, 1):
+        match = _SECTION_RE.match(line)
+        if match:
+            sections.append((number, match.group(1)))
+    knobs: "set[str]" = set()
+    for name, line in fields.items():
+        title = ""
+        for header_line, header_title in sections:
+            if header_line < line:
+                title = header_title
+        if title.startswith(_KNOB_SECTIONS):
+            knobs.add(name)
+    return knobs
+
+
+def property_map(machine: SourceFile) -> "dict[str, set[str]]":
+    """MachineConfig property name -> config fields it reads."""
+    properties: "dict[str, set[str]]" = {}
+    if machine.tree is None:
+        return properties
+    for node in ast.walk(machine.tree):
+        if not (isinstance(node, ast.ClassDef)
+                and node.name == "MachineConfig"):
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, ast.FunctionDef):
+                continue
+            if not any(
+                isinstance(decorator, ast.Name)
+                and decorator.id == "property"
+                for decorator in stmt.decorator_list
+            ):
+                continue
+            reads: "set[str]" = set()
+            for child in ast.walk(stmt):
+                if isinstance(child, ast.Attribute) \
+                        and isinstance(child.value, ast.Name) \
+                        and child.value.id == "self":
+                    reads.add(child.attr)
+            properties[stmt.name] = reads
+    return properties
+
+
+def _is_config_expr(node: ast.expr) -> bool:
+    """True for ``config`` / ``cfg`` / ``self.config`` / ``self._config``."""
+    if isinstance(node, ast.Name):
+        return node.id in _CONFIG_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _CONFIG_NAMES \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "self"
+    return False
+
+
+def config_reads(sf: SourceFile) -> "dict[str, int]":
+    """Attribute names read off a config object -> first line seen."""
+    reads: "dict[str, int]" = {}
+    if sf.tree is None:
+        return reads
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Attribute) and _is_config_expr(node.value):
+            reads.setdefault(node.attr, node.lineno)
+    return reads
+
+
+def _expand(names: "set[str]", knobs: "set[str]",
+            properties: "dict[str, set[str]]") -> "set[str]":
+    """Restrict to knobs, expanding property reads to their fields."""
+    expanded: "set[str]" = set()
+    for name in names:
+        if name in properties:
+            expanded |= properties[name] & knobs
+        elif name in knobs:
+            expanded.add(name)
+    return expanded
+
+
+def eligibility_checked(columnar: SourceFile) -> "set[str] | None":
+    """Config attributes consulted by ``columnar_eligible``, or None."""
+    if columnar.tree is None:
+        return None
+    for node in ast.walk(columnar.tree):
+        if isinstance(node, ast.FunctionDef) \
+                and node.name == "columnar_eligible":
+            names: "set[str]" = set()
+            for child in ast.walk(node):
+                if isinstance(child, ast.Attribute):
+                    names.add(child.attr)
+            return names
+    return None
+
+
+def run(ctx: LintContext) -> None:
+    machine = ctx.tree.file(MACHINE_FILE)
+    columnar = ctx.tree.file(COLUMNAR_FILE)
+    if machine is None or columnar is None:
+        return  # partial tree: contract not evaluable
+    knobs = knob_fields(machine)
+    if not knobs:
+        ctx.emit(
+            "SC505",
+            "no knob fields found under the MachineConfig section "
+            "headers — the fallback matrix has nothing to check against",
+            sf=machine,
+        )
+        return
+    properties = property_map(machine)
+    checked = eligibility_checked(columnar)
+    if checked is None:
+        ctx.emit("SC505", "columnar_eligible function not found",
+                 sf=columnar)
+        return
+    modeled = string_set(columnar, "COLUMNAR_MODELED_FIELDS")
+    if modeled is None:
+        ctx.emit(
+            "SC505",
+            "COLUMNAR_MODELED_FIELDS string-set literal not found",
+            sf=columnar,
+        )
+        return
+    modeled_set, modeled_line = modeled
+    covered = _expand(checked, knobs, properties) | modeled_set
+
+    consulted: "dict[str, tuple[str, int]]" = {}
+    for sf in ctx.tree.files:
+        if sf.rel not in OBJECT_ENGINE_FILES \
+                and not sf.rel.startswith(OBJECT_ENGINE_PREFIXES):
+            continue
+        for name, line in config_reads(sf).items():
+            for field in _expand({name}, knobs, properties):
+                consulted.setdefault(field, (sf.rel, line))
+
+    for field in sorted(set(consulted) - covered):
+        rel, line = consulted[field]
+        sf = ctx.tree.file(rel)
+        ctx.emit(
+            "SC501",
+            f"object-engine code consults knob {field!r} but "
+            f"columnar_eligible never checks it and it is not declared "
+            f"in COLUMNAR_MODELED_FIELDS — the columnar engine will run "
+            f"configs it does not model",
+            sf=sf, line=line,
+        )
+    for field in sorted(modeled_set - set(consulted)):
+        ctx.emit(
+            "SC502",
+            f"COLUMNAR_MODELED_FIELDS entry {field!r} is stale: no "
+            f"object-engine code consults it (renamed, or no longer a "
+            f"knob) — delete the entry",
+            sf=columnar, line=modeled_line,
+        )

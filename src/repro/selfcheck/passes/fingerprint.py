@@ -1,0 +1,183 @@
+"""Fingerprint-coverage pass: every config field classified, no drift.
+
+Cross-checks three anchors *statically* (on the scanned tree's source,
+never the imported package, so mutation fixtures exercise the real
+logic):
+
+* ``config/machine.py`` — the :class:`MachineConfig` dataclass fields;
+* ``fingerprint.py`` — ``FUNCTIONAL_FIELDS`` and the
+  ``config_fingerprint`` implementation;
+* ``machine/replay.py`` — ``TIMING_ONLY_FIELDS``.
+
+The contract: ``FUNCTIONAL_FIELDS`` and ``TIMING_ONLY_FIELDS`` exactly
+partition the field set (every field in exactly one), and
+``config_fingerprint`` enumerates fields through :mod:`dataclasses`
+(``asdict``/``fields``) so the result-cache key can never silently drop
+a field. The same partition is enforced at runtime by
+:func:`repro.fingerprint.check_field_partition`; this pass catches the
+break at lint time, before any cache or trace is keyed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.selfcheck.core import LintContext, SourceFile, literal_strings
+
+NAME = "fingerprint"
+
+CODES = {
+    "SC101": "MachineConfig field classified neither functional nor "
+             "timing-only",
+    "SC102": "stale TIMING_ONLY_FIELDS entry (not a MachineConfig field)",
+    "SC103": "stale FUNCTIONAL_FIELDS entry (not a MachineConfig field)",
+    "SC104": "MachineConfig field classified both functional and "
+             "timing-only",
+    "SC105": "fingerprint anchor (dataclass or field set) not found",
+    "SC106": "config_fingerprint no longer enumerates fields via "
+             "dataclasses",
+}
+
+MACHINE_FILE = "config/machine.py"
+FINGERPRINT_FILE = "fingerprint.py"
+REPLAY_FILE = "machine/replay.py"
+
+
+def dataclass_fields(sf: SourceFile,
+                     class_name: str) -> "dict[str, int] | None":
+    """Annotated field name -> line for one dataclass, None if absent."""
+    if sf.tree is None:
+        return None
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return {
+                stmt.target.id: stmt.lineno
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            }
+    return None
+
+
+def string_set(sf: SourceFile,
+               name: str) -> "tuple[set[str], int] | None":
+    """A module-level frozenset/set-of-strings literal and its line."""
+    if sf.tree is None:
+        return None
+    for node in sf.tree.body:
+        targets: "list[ast.expr]" = []
+        value: "ast.expr | None" = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None or not any(
+            isinstance(target, ast.Name) and target.id == name
+            for target in targets
+        ):
+            continue
+        literal = value
+        if isinstance(literal, ast.Call) and literal.args \
+                and isinstance(literal.func, ast.Name) \
+                and literal.func.id in ("frozenset", "set"):
+            literal = literal.args[0]
+        if isinstance(literal, ast.Set):
+            strings = literal_strings(
+                ast.Tuple(elts=literal.elts, ctx=ast.Load())
+            )
+        else:
+            strings = literal_strings(literal)
+        if isinstance(strings, tuple):
+            return set(strings), node.lineno
+        return None
+    return None
+
+
+def run(ctx: LintContext) -> None:
+    machine = ctx.tree.file(MACHINE_FILE)
+    fingerprint = ctx.tree.file(FINGERPRINT_FILE)
+    replay = ctx.tree.file(REPLAY_FILE)
+    if machine is None or fingerprint is None or replay is None:
+        # Partial tree (e.g. a targeted scan of one subpackage): the
+        # cross-file contract cannot be evaluated, so stay silent
+        # rather than erroring on files the user did not ask about.
+        return
+
+    fields = dataclass_fields(machine, "MachineConfig")
+    if fields is None:
+        ctx.emit("SC105", "MachineConfig dataclass not found", sf=machine)
+        return
+    functional = string_set(fingerprint, "FUNCTIONAL_FIELDS")
+    if functional is None:
+        ctx.emit(
+            "SC105",
+            "FUNCTIONAL_FIELDS string-set literal not found",
+            sf=fingerprint,
+        )
+        return
+    timing_only = string_set(replay, "TIMING_ONLY_FIELDS")
+    if timing_only is None:
+        ctx.emit(
+            "SC105",
+            "TIMING_ONLY_FIELDS string-set literal not found",
+            sf=replay,
+        )
+        return
+    functional_set, functional_line = functional
+    timing_set, timing_line = timing_only
+
+    for name in sorted(set(fields) - functional_set - timing_set):
+        ctx.emit(
+            "SC101",
+            f"config field {name!r} is in neither FUNCTIONAL_FIELDS nor "
+            f"TIMING_ONLY_FIELDS — classify it before it can key a cache "
+            f"or trace",
+            sf=machine, line=fields[name],
+        )
+    for name in sorted(timing_set - set(fields)):
+        ctx.emit(
+            "SC102",
+            f"TIMING_ONLY_FIELDS entry {name!r} is not a MachineConfig "
+            f"field (renamed or deleted?)",
+            sf=replay, line=timing_line,
+        )
+    for name in sorted(functional_set - set(fields)):
+        ctx.emit(
+            "SC103",
+            f"FUNCTIONAL_FIELDS entry {name!r} is not a MachineConfig "
+            f"field (renamed or deleted?)",
+            sf=fingerprint, line=functional_line,
+        )
+    for name in sorted(functional_set & timing_set):
+        ctx.emit(
+            "SC104",
+            f"config field {name!r} is classified both functional and "
+            f"timing-only",
+            sf=fingerprint, line=functional_line,
+        )
+
+    _check_config_fingerprint(ctx, fingerprint)
+
+
+def _check_config_fingerprint(ctx: LintContext, sf: SourceFile) -> None:
+    """SC106: config_fingerprint must enumerate fields automatically."""
+    assert sf.tree is not None
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.FunctionDef) \
+                and node.name == "config_fingerprint":
+            for child in ast.walk(node):
+                if isinstance(child, ast.Attribute) \
+                        and child.attr in ("asdict", "fields"):
+                    return
+                if isinstance(child, ast.Name) \
+                        and child.id in ("asdict", "fields"):
+                    return
+            ctx.emit(
+                "SC106",
+                "config_fingerprint does not call dataclasses.asdict/"
+                "fields — a hand-enumerated field list will silently "
+                "omit new fields from every cache key",
+                sf=sf, line=node.lineno,
+            )
+            return
+    ctx.emit("SC105", "config_fingerprint function not found", sf=sf)

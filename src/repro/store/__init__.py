@@ -13,6 +13,9 @@ code path:
 :mod:`repro.store.durable`
     :class:`DurableStore`: content-verified entries behind a manifest
     journal, bounded quarantine, and crash recovery.
+:mod:`repro.store.atomic`
+    Bare fsync+rename primitive for single-file artifacts (trace
+    exports, harness JSON reports) outside the journaled store.
 :mod:`repro.store.chaos`
     Deterministic ENOSPC/torn-write injection for the chaos harness.
 
@@ -22,6 +25,7 @@ fsync/rename/lock implementation to audit — the same consolidation the
 paper's indexed SRF performs on ad-hoc per-client access paths.
 """
 
+from repro.store.atomic import atomic_write_bytes, atomic_write_text
 from repro.store.chaos import CHAOS_ENV, StoreChaos, chaos_from_env
 from repro.store.durable import (
     DEFAULT_QUARANTINE_CAP,
@@ -40,6 +44,8 @@ __all__ = [
     "FileLock",
     "Journal",
     "StoreChaos",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "chaos_from_env",
     "decode_line",
     "default_quarantine_cap",

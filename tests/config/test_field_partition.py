@@ -1,0 +1,62 @@
+"""FUNCTIONAL_FIELDS ∪ TIMING_ONLY_FIELDS exactly partitions the config.
+
+The replay cache and the result cache both key on this classification:
+a field in neither set would silently drop out of the functional
+fingerprint; a field in both would be contradictory. The partition is
+enforced statically (selfcheck codes SC101–SC104) and at runtime
+(:func:`repro.fingerprint.check_field_partition` raising through
+``ReplayError``); this test pins it at the plain-pytest layer so a
+break fails even with the linter skipped.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config.machine import MachineConfig
+from repro.fingerprint import FUNCTIONAL_FIELDS, check_field_partition
+from repro.machine.replay import TIMING_ONLY_FIELDS
+
+
+def field_names():
+    return {field.name for field in dataclasses.fields(MachineConfig)}
+
+
+def test_partition_is_exact():
+    names = field_names()
+    assert FUNCTIONAL_FIELDS | TIMING_ONLY_FIELDS == names
+    assert not FUNCTIONAL_FIELDS & TIMING_ONLY_FIELDS
+
+
+def test_check_field_partition_is_clean():
+    assert check_field_partition(TIMING_ONLY_FIELDS) == []
+
+
+@pytest.mark.parametrize("missing", sorted(FUNCTIONAL_FIELDS)[:2])
+def test_dropping_functional_field_is_reported(missing):
+    problems = check_field_partition(
+        TIMING_ONLY_FIELDS, functional=FUNCTIONAL_FIELDS - {missing}
+    )
+    assert any(missing in problem for problem in problems)
+
+
+def test_dropped_from_both_sets_is_reported():
+    # The acceptance scenario: a field deleted from both classification
+    # sets must be caught as unclassified.
+    problems = check_field_partition(
+        TIMING_ONLY_FIELDS - {"sanitize"},
+        functional=FUNCTIONAL_FIELDS - {"sanitize"},
+    )
+    assert any(
+        "neither" in problem and "sanitize" in problem
+        for problem in problems
+    )
+
+
+def test_overlap_is_reported():
+    problems = check_field_partition(
+        TIMING_ONLY_FIELDS | {"srf_mode"}
+    )
+    assert any(
+        "srf_mode" in problem and "both" in problem for problem in problems
+    )

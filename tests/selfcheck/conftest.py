@@ -1,0 +1,63 @@
+"""Fixtures for the selfcheck suite: real-tree copies and mutations.
+
+The mutation corpus works on a *copy* of the shipped ``src/repro``
+tree: each test applies a small textual mutation (the kind of edit a
+distracted human would make) and asserts the corresponding pass
+catches it. Scanning a copy keeps the corpus honest — the passes run
+their real cross-file logic, not a toy fixture shaped around the
+implementation.
+"""
+
+import os
+import shutil
+
+import pytest
+
+import repro
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(repro.__file__), os.pardir, os.pardir)
+)
+PACKAGE_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+@pytest.fixture()
+def tree_copy(tmp_path):
+    """A scannable copy of the real package tree, plus a mutator."""
+    root = str(tmp_path / "repro")
+    shutil.copytree(
+        PACKAGE_ROOT, root,
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+
+    class Tree:
+        def __init__(self):
+            self.root = root
+
+        def path(self, rel):
+            return os.path.join(root, rel.replace("/", os.sep))
+
+        def read(self, rel):
+            with open(self.path(rel), encoding="utf-8") as handle:
+                return handle.read()
+
+        def write(self, rel, text):
+            target = self.path(rel)
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(text)
+
+        def mutate(self, rel, old, new, count=1):
+            """Replace ``old`` with ``new``, asserting it was present."""
+            text = self.read(rel)
+            assert old in text, f"mutation anchor not found in {rel}: {old!r}"
+            self.write(rel, text.replace(old, new, count))
+
+        def append(self, rel, text):
+            self.write(rel, self.read(rel) + text)
+
+    return Tree()
+
+
+def active_codes(report):
+    return {finding.code for finding in report.active}

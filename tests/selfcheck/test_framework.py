@@ -1,0 +1,148 @@
+"""Framework behaviour: suppressions, contexts, baseline ratchet."""
+
+import pytest
+
+from repro.selfcheck import run_selfcheck
+from repro.selfcheck.baseline import (
+    BaselineError,
+    load_baseline,
+    render_baseline,
+)
+from repro.selfcheck.core import SourceFile, SourceTree
+from repro.selfcheck.driver import ALL_CODES
+
+from tests.selfcheck.conftest import active_codes
+
+
+def write(tmp_path, rel, text):
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text)
+    return str(tmp_path)
+
+
+class TestSourceFile:
+    def test_context_at_nested_scope(self, tmp_path):
+        root = write(tmp_path, "mod.py", (
+            "class Outer:\n"
+            "    def method(self):\n"
+            "        x = 1\n"
+            "        return x\n"
+            "\n"
+            "def top():\n"
+            "    pass\n"
+        ))
+        sf = SourceFile(root, "mod.py")
+        assert sf.context_at(3) == "Outer.method"
+        assert sf.context_at(7) == "top"
+        assert sf.context_at(1) == "Outer"
+
+    def test_suppression_in_string_is_ignored(self, tmp_path):
+        root = write(tmp_path, "mod.py", (
+            'DOC = "# selfcheck: disable=SC402"\n'
+        ))
+        sf = SourceFile(root, "mod.py")
+        assert sf.suppressions == {}
+
+    def test_suppression_comment_is_parsed(self, tmp_path):
+        root = write(tmp_path, "mod.py", (
+            "x = 1  # selfcheck: disable=SC301, SC302\n"
+        ))
+        sf = SourceFile(root, "mod.py")
+        assert sf.suppressions == {1: {"SC301", "SC302"}}
+
+
+class TestDriver:
+    def test_parse_error_is_sc001(self, tmp_path):
+        root = write(tmp_path, "broken.py", "def broken(:\n")
+        report = run_selfcheck(root)
+        assert active_codes(report) == {"SC001"}
+        assert not report.ok
+
+    def test_unknown_suppression_code_is_sc003(self, tmp_path):
+        root = write(tmp_path, "mod.py", "x = 1  # selfcheck: disable=SC999\n")
+        report = run_selfcheck(root)
+        assert "SC003" in active_codes(report)
+
+    def test_unused_suppression_is_sc002(self, tmp_path):
+        root = write(tmp_path, "mod.py", "x = 1  # selfcheck: disable=SC301\n")
+        report = run_selfcheck(root)
+        assert "SC002" in active_codes(report)
+
+    def test_suppression_absorbs_finding(self, tmp_path):
+        # A bare write normally fires SC402 (outside store/); suppressed
+        # it is silent, and the suppression itself counts as used.
+        root = write(tmp_path, "mod.py", (
+            "def dump(path, text):\n"
+            '    with open(path, "w") as handle:'
+            "  # selfcheck: disable=SC402\n"
+            "        handle.write(text)\n"
+        ))
+        report = run_selfcheck(root)
+        assert report.ok, [f.describe() for f in report.active]
+
+    def test_every_emitted_code_is_declared(self, tmp_path):
+        root = write(tmp_path, "mod.py", "import os\nos.rename('a', 'b')\n")
+        report = run_selfcheck(root)
+        for finding in report.active:
+            assert finding.code in ALL_CODES
+
+
+class TestBaseline:
+    def _report(self, tmp_path, baseline=None):
+        root = write(tmp_path, "mod.py", (
+            "import os\n"
+            "os.replace('a', 'b')\n"
+        ))
+        return run_selfcheck(root, baseline_path=baseline)
+
+    def test_baseline_grandfathers_finding(self, tmp_path):
+        report = self._report(tmp_path)
+        assert active_codes(report) == {"SC401"}
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(render_baseline(report.active))
+        again = self._report(tmp_path, baseline=str(baseline))
+        assert again.ok
+        assert [f.code for f in again.grandfathered] == ["SC401"]
+
+    def test_stale_baseline_entry_is_sc004(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            '{"version": 1, "findings": [{"code": "SC401",'
+            ' "path": "gone.py", "context": "<module>", "count": 1}]}\n'
+        )
+        report = self._report(tmp_path, baseline=str(baseline))
+        assert {"SC401", "SC004"} <= active_codes(report)
+
+    def test_ratchet_does_not_absorb_new_findings(self, tmp_path):
+        # Baseline allows one SC401 in mod.py; a second one must fail.
+        report = self._report(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(render_baseline(report.active))
+        root = write(tmp_path, "mod.py", (
+            "import os\n"
+            "os.replace('a', 'b')\n"
+            "os.replace('c', 'd')\n"
+        ))
+        again = run_selfcheck(root, baseline_path=str(baseline))
+        assert not again.ok
+        assert [f.code for f in again.active] == ["SC401"]
+        assert len(again.grandfathered) == 1
+
+    def test_bad_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("not json")
+        with pytest.raises(BaselineError):
+            load_baseline(str(bad))
+        bad.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(BaselineError):
+            load_baseline(str(bad))
+        with pytest.raises(BaselineError):
+            load_baseline(str(tmp_path / "missing.json"))
+
+
+def test_tree_skips_pycache(tmp_path):
+    write(tmp_path, "mod.py", "x = 1\n")
+    write(tmp_path, "__pycache__/junk.py", "x = 1\n")
+    tree = SourceTree(str(tmp_path))
+    assert [sf.rel for sf in tree.files] == ["mod.py"]
