@@ -22,13 +22,16 @@ from repro.apps.filter2d import FilterBenchmark
 from repro.apps.igraph import TABLE4, IgBenchmark
 from repro.apps.rijndael import RijndaelBenchmark
 from repro.apps.sort import SortBenchmark
+from repro.apps.spmv import SpmvBenchmark, dense_vector, random_matrix
+from repro.apps.stencil import StencilBenchmark
 from repro.config.machine import MachineConfig
 from repro.config.presets import all_configs
 
-#: Benchmark order of the paper's Figure 11/12.
+#: Benchmark order of the paper's Figure 11/12, then the sparse suite.
 APP_NAMES = (
     "FFT 2D", "Rijndael", "Sort", "Filter",
     "IG_SML", "IG_DMS", "IG_DCS", "IG_SCL",
+    "SpMV_CSR", "SpMV_CSC", "Stencil_STAR", "Stencil_BOX",
 )
 
 #: Harness ``small``-scale workload sizes.
@@ -38,6 +41,8 @@ SIZES = {
     "sort_n": 512,
     "filter_size": (32, 32),
     "ig_nodes": 384,
+    "spmv_shape": (96, 96, 6),
+    "stencil_size": (16, 32),
 }
 
 #: Strips chained per analysis (warmup + measured, as steady_state_run).
@@ -61,6 +66,15 @@ def build_benchmark(name: str, config: MachineConfig, sizes=None):
         return FilterBenchmark(config, height=height, width=width)
     if name.startswith("IG_"):
         return IgBenchmark(config, TABLE4[name], nodes=params["ig_nodes"])
+    if name.startswith("SpMV_"):
+        rows, cols, avg_nnz = params["spmv_shape"]
+        matrix = random_matrix(rows, cols, avg_nnz=avg_nnz)
+        return SpmvBenchmark(config, matrix, dense_vector(cols),
+                             fmt=name.split("_", 1)[1].lower())
+    if name.startswith("Stencil_"):
+        height, width = params["stencil_size"]
+        return StencilBenchmark(config, name.split("_", 1)[1].lower(),
+                                height=height, width=width)
     raise ValueError(f"unknown benchmark {name!r}")
 
 

@@ -105,6 +105,24 @@ class Interval:
             return Interval(0, b - 1)
         return Interval.top()
 
+    def min_(self, other: "Interval") -> "Interval":
+        """Pointwise minimum: bounded above by EITHER operand's hi.
+
+        This is the half of ``clamp`` that tames data-dependent
+        indices — ``min(TOP, [c, c])`` is ``[-inf, c]``.
+        """
+        return Interval(
+            _bound(min(_lo(self.lo), _lo(other.lo))),
+            _bound(min(_hi(self.hi), _hi(other.hi))),
+        )
+
+    def max_(self, other: "Interval") -> "Interval":
+        """Pointwise maximum: bounded below by EITHER operand's lo."""
+        return Interval(
+            _bound(max(_lo(self.lo), _lo(other.lo))),
+            _bound(max(_hi(self.hi), _hi(other.hi))),
+        )
+
     def xor(self, other: "Interval") -> "Interval":
         """XOR of non-negative values below 2**k stays below 2**k."""
         if (self.is_bounded and other.is_bounded
@@ -317,6 +335,15 @@ class IndexEvaluator:
             interval = a.interval.mod(b.interval)
             # Identity mod keeps exactness (hull already within range).
             affine = a.affine if interval is a.interval else None
+            return IndexValue(interval, affine)
+        if algebra in ("min", "max") and len(operands) == 2:
+            a, b = operands
+            interval = (a.interval.min_(b.interval) if algebra == "min"
+                        else a.interval.max_(b.interval))
+            # min/max of a value with itself is exact; otherwise the
+            # extremum generally isn't affine in (iter, lane).
+            affine = a.affine if (a.affine is not None
+                                  and a.affine == b.affine) else None
             return IndexValue(interval, affine)
         if algebra == "xor" and len(operands) == 2:
             a, b = operands

@@ -1,4 +1,5 @@
-"""Benchmark applications of the paper's evaluation (§5.2).
+"""Benchmark applications of the paper's evaluation (§5.2), plus the
+sparse & stencil workload suite (ISSUE 10).
 
 ==========  =======================================================
 Module      Benchmark
@@ -9,6 +10,10 @@ sort        Merge sort of 4096 values (conditional accesses)
 filter2d    5x5 convolution over a 2D image (neighbour accesses)
 igraph      Irregular-graph neighbour interactions (Table 4)
 microbench  Random-access SRF throughput (Figures 17 and 18)
+spmv        Sparse matrix-vector product, CSR and CSC (scipy-checked
+            gather/scatter through the indexed SRF)
+stencil     2D star/box stencils with lane-banded halos (NumPy-checked
+            indirect neighbour reads)
 ==========  =======================================================
 
 Every application module exposes ``run(config, **params) -> AppResult``.

@@ -24,7 +24,9 @@ import os
 from dataclasses import dataclass
 
 from repro import observe
-from repro.apps import fft, filter2d, igraph, microbench, rijndael, sort
+from repro.apps import (
+    fft, filter2d, igraph, microbench, rijndael, sort, spmv, stencil,
+)
 from repro.apps.common import AppResult
 from repro.area.energy import EnergyModel
 from repro.area.floorplan import DieModel
@@ -37,18 +39,30 @@ from repro.kernel.scheduler import ModuloScheduler
 
 SCALES = {
     "small": dict(fft_n=16, rijndael_blocks=4, sort_n=512,
-                  filter_size=(32, 32), ig_nodes=384, ig_strips=2),
+                  filter_size=(32, 32), ig_nodes=384, ig_strips=2,
+                  spmv_shape=(96, 96, 6), spmv_strips=2,
+                  stencil_size=(16, 32)),
     "medium": dict(fft_n=32, rijndael_blocks=8, sort_n=1024,
-                   filter_size=(64, 64), ig_nodes=768, ig_strips=3),
+                   filter_size=(64, 64), ig_nodes=768, ig_strips=3,
+                   spmv_shape=(192, 192, 8), spmv_strips=3,
+                   stencil_size=(32, 64)),
     "paper": dict(fft_n=64, rijndael_blocks=16, sort_n=4096,
-                  filter_size=(256, 256), ig_nodes=4096, ig_strips=4),
+                  filter_size=(256, 256), ig_nodes=4096, ig_strips=4,
+                  spmv_shape=(512, 512, 10), spmv_strips=4,
+                  stencil_size=(64, 128)),
 }
 
-#: Figure 11/12 benchmark order, as in the paper.
+#: Figure 11/12 benchmark order, as in the paper. The sparse suite is
+#: deliberately NOT in this tuple: the paper figures enumerate exactly
+#: the paper's eight applications, and the sparse/stencil workloads get
+#: their own ``sparse``/``locality`` experiments below.
 BENCHMARKS = (
     "FFT 2D", "Rijndael", "Sort", "Filter",
     "IG_SML", "IG_DMS", "IG_DCS", "IG_SCL",
 )
+
+#: The ISSUE-10 sparse & stencil workload suite (own experiments).
+SPARSE_BENCHMARKS = ("SpMV_CSR", "SpMV_CSC", "Stencil_STAR", "Stencil_BOX")
 
 _run_cache = {}
 
@@ -170,6 +184,19 @@ def _simulate(name: str, config, scale: str) -> AppResult:
     elif name.startswith("IG_"):
         result = igraph.run(config, dataset=name, nodes=params["ig_nodes"],
                             strips_to_run=params["ig_strips"])
+    elif name.startswith("SpMV_"):
+        # "SpMV_CSR@clustered" selects a non-default index ordering; the
+        # suffix keeps run_benchmark's (name, config, scale) cache keys
+        # distinct across the locality sweep's variants.
+        fmt, _, ordering = name[len("SpMV_"):].partition("@")
+        rows, cols, avg_nnz = params["spmv_shape"]
+        result = spmv.run(config, fmt=fmt.lower(), rows=rows, cols=cols,
+                          avg_nnz=avg_nnz, ordering=ordering or "sorted",
+                          strips_to_run=params["spmv_strips"])
+    elif name.startswith("Stencil_"):
+        height, width = params["stencil_size"]
+        result = stencil.run(config, pattern=name[len("Stencil_"):].lower(),
+                             height=height, width=width)
     else:
         raise ValueError(f"unknown benchmark {name!r}")
     result.require_verified()
@@ -177,8 +204,13 @@ def _simulate(name: str, config, scale: str) -> AppResult:
 
 
 def _work_units(result: AppResult) -> float:
-    """Per-benchmark work normaliser (IG strips differ between configs)."""
-    return float(result.details.get("edges_processed", 1))
+    """Per-benchmark work normaliser (IG strips differ between configs;
+    the sparse suite normalises per nonzero / per pixel)."""
+    details = result.details
+    for key in ("edges_processed", "nnz_processed", "pixels_processed"):
+        if key in details:
+            return float(details[key])
+    return 1.0
 
 
 # ----------------------------------------------------------------------
@@ -756,6 +788,88 @@ def headline(scale: "str | None" = None) -> dict:
         ["benchmark", "speedup", "traffic vs Base"], rows,
     )
     return {"claims": claims, "rows": rows, "text": text}
+
+
+# ----------------------------------------------------------------------
+# Sparse & stencil workload suite (ISSUE 10)
+# ----------------------------------------------------------------------
+def sparse(scale: "str | None" = None) -> dict:
+    """The sparse/stencil suite on every preset, normalised per unit.
+
+    SpMV rows report cycles and off-chip words per *nonzero* (the
+    format-independent unit of sparse work), the stencils per output
+    pixel. Every cell is a fully verified simulation — the scipy/NumPy
+    functional references inside :mod:`repro.apps.spmv` and
+    :mod:`repro.apps.stencil` checked the results word for word.
+    """
+    scale = scale or default_scale()
+    configs = all_configs()
+    rows = []
+    data = {}
+    for name in SPARSE_BENCHMARKS:
+        unit = "nnz" if name.startswith("SpMV") else "pixel"
+        for config_name, config in configs.items():
+            result = run_benchmark(name, config, scale)
+            work = _work_units(result)
+            entry = {
+                "cycles_per_unit": result.cycles / work,
+                "offchip_per_unit": result.offchip_words / work,
+                "unit": unit,
+            }
+            data[(name, config_name)] = entry
+            rows.append([
+                name, config_name, unit,
+                f"{entry['cycles_per_unit']:.2f}",
+                f"{entry['offchip_per_unit']:.3f}",
+            ])
+    text = render_table(
+        "Sparse suite: SpMV (CSR/CSC) and 2D stencils on every preset "
+        "(verified against scipy/NumPy references)",
+        ["benchmark", "config", "unit", "cycles/unit", "offchip w/unit"],
+        rows,
+    )
+    return {"data": data, "rows": rows, "text": text}
+
+
+#: Locality-sweep presets: indexed SRF vs the no-indexing baselines.
+_LOCALITY_CONFIGS = ("Base", "ISRF4", "Cache")
+
+
+def locality(scale: "str | None" = None) -> dict:
+    """Index-locality sweep: SpMV_CSR under three column orderings.
+
+    The same matrix sparsity (rows, nnz/row, empty rows, duplicates)
+    is regenerated with ``sorted``, ``random`` and ``clustered`` column
+    index orderings (see :data:`repro.apps.spmv.ORDERINGS`), and each
+    variant runs on Base, ISRF4 and Cache. The ISRF4/Base cycle ratio
+    per ordering is the experiment's point: the indexed SRF's bank
+    conflicts make it *ordering-sensitive* where the Base gather
+    pipeline is indifferent — the tradeoff ISSUE 10 asks RESULTS.txt
+    to exhibit.
+    """
+    scale = scale or default_scale()
+    configs = all_configs()
+    rows = []
+    data = {}
+    for ordering in spmv.ORDERINGS:
+        name = f"SpMV_CSR@{ordering}"
+        cycles = {}
+        for config_name in _LOCALITY_CONFIGS:
+            result = run_benchmark(name, configs[config_name], scale)
+            cycles[config_name] = result.cycles / _work_units(result)
+        ratio = cycles["ISRF4"] / cycles["Base"]
+        data[ordering] = dict(cycles, isrf_vs_base=ratio)
+        rows.append([
+            ordering,
+            f"{cycles['Base']:.2f}", f"{cycles['ISRF4']:.2f}",
+            f"{cycles['Cache']:.2f}", f"{ratio:.3f}",
+        ])
+    text = render_table(
+        "Locality sweep: SpMV CSR cycles/nnz by column-index ordering "
+        "(ISRF4/Base ratio exposes indexed-bank ordering sensitivity)",
+        ["ordering", "Base", "ISRF4", "Cache", "ISRF4/Base"], rows,
+    )
+    return {"data": data, "rows": rows, "text": text}
 
 
 # ----------------------------------------------------------------------

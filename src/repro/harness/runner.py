@@ -77,6 +77,8 @@ EXPERIMENTS = {
     "fig17": figures.figure17,
     "fig18": figures.figure18,
     "reliability": figures.reliability,
+    "sparse": figures.sparse,
+    "locality": figures.locality,
     "headline": figures.headline,
     "trace": figures.trace,
 }

@@ -160,6 +160,34 @@ class KernelBuilder:
         return self.arith(lambda x, y: bool(x) and bool(y), a, b,
                           name=name or "and")
 
+    def min_(self, a: Op, b: Op, name: str = "") -> Op:
+        """Two-input minimum (an ALU op the index analysis can bound)."""
+        return self._add(
+            Op(OpKind.ARITH, (a, b), payload=min,
+               name=name or "min", algebra="min")
+        )
+
+    def max_(self, a: Op, b: Op, name: str = "") -> Op:
+        """Two-input maximum (an ALU op the index analysis can bound)."""
+        return self._add(
+            Op(OpKind.ARITH, (a, b), payload=max,
+               name=name or "max", algebra="max")
+        )
+
+    def clamp(self, value: Op, lo: Op, hi: Op, name: str = "") -> Op:
+        """``max(lo, min(value, hi))`` — the hardware range guard.
+
+        The point is the abstract semantics as much as the concrete
+        ones: the interval domain bounds the result by ``[lo, hi]``
+        even when ``value`` is data-dependent (TOP), which is what
+        lets sparse apps prove their pointer-chased gather indices in
+        bounds (ISSUE 10 / ROADMAP item 3). Functionally it is the
+        identity whenever the data already respects the bound.
+        """
+        base = name or "clamp"
+        lowered = self.min_(value, hi, name=f"{base}_min")
+        return self.max_(lowered, lo, name=f"{base}_max")
+
     def mac_chain(self, pairs, name: str = "mac") -> Op:
         """Multiply-accumulate over (a, b) op pairs — a convolution helper."""
         pairs = list(pairs)

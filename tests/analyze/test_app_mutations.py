@@ -1,0 +1,105 @@
+"""Mutation corpus over the sparse apps: the analyzer must catch what
+the zero-false-positive gate must not flag.
+
+``tests/analyze/test_no_false_positives.py`` proves the analyzer stays
+silent on every *correct* shipped program. That is only half the
+contract — a silent analyzer is worthless if it is silent on broken
+programs too. Here the sparse apps' real steady-state chains are
+mutated the way their bugs would actually manifest, and the analyzer
+must convict:
+
+* an off-by-one in the CSR row extent inflates the kernel trip count
+  past the bound streams — ``stream-overrun``;
+* a halo under-allocation shrinks the stencil's grid binding by one
+  record while the kernel's last affine tap still reaches it —
+  a *provable* ``index-out-of-bounds`` (the tap index is exact affine,
+  so the verdict is a conviction, not a cannot-prove note).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analyze.diagnostics import Severity
+from repro.analyze.driver import build_chain, check_app
+from repro.analyze.program import analyze_program
+from repro.config.presets import all_configs
+
+ISRF_PRESETS = ("ISRF1", "ISRF4")
+
+
+def _mutate_kernels(chain, name_fragment, mutate):
+    """Apply ``mutate(invocation)`` to every matching kernel task."""
+    hits = 0
+    for task in chain.tasks:
+        if task.is_kernel and name_fragment in task.name:
+            mutate(task.work)
+            hits += 1
+    assert hits, f"no kernel matching {name_fragment!r} in the chain"
+    return chain
+
+
+@pytest.mark.parametrize("preset", ISRF_PRESETS)
+def test_csr_row_extent_off_by_one_is_caught(preset):
+    """iterations+1 == one phantom CSR entry past the row extent."""
+    config = all_configs()[preset]
+    chain = build_chain("SpMV_CSR", config, reps=1)
+
+    def overrun(invocation):
+        invocation.iterations += 1
+
+    _mutate_kernels(chain, "spmv_csr_isrf", overrun)
+    report = analyze_program(chain, config)
+    assert "stream-overrun" in {d.code for d in report.errors}
+
+
+@pytest.mark.parametrize("preset", ISRF_PRESETS)
+def test_csc_row_extent_off_by_one_is_caught(preset):
+    config = all_configs()[preset]
+    chain = build_chain("SpMV_CSC", config, reps=1)
+
+    def overrun(invocation):
+        invocation.iterations += 1
+
+    _mutate_kernels(chain, "spmv_csc_isrf", overrun)
+    report = analyze_program(chain, config)
+    assert "stream-overrun" in {d.code for d in report.errors}
+
+
+@pytest.mark.parametrize("preset", ISRF_PRESETS)
+def test_stencil_halo_underallocation_is_proven_out_of_bounds(preset):
+    """Shrink the grid binding below the last tap's reach.
+
+    The box pattern's bottom-right tap lands exactly on the final grid
+    record, and the tap addresses are exact affine forms — so one
+    missing record must upgrade to a *proven* violation, not merely an
+    unproven-bounds note.
+    """
+    config = all_configs()[preset]
+    chain = build_chain("Stencil_BOX", config, reps=1)
+
+    def shrink(invocation):
+        grid = invocation.bindings["grid"]
+        invocation.bindings["grid"] = dataclasses.replace(
+            grid, length_records=grid.length_records - 1
+        )
+
+    _mutate_kernels(chain, "stencil", shrink)
+    report = analyze_program(chain, config)
+    assert "index-out-of-bounds" in {d.code for d in report.errors}
+
+
+@pytest.mark.parametrize("app", ["SpMV_CSR", "SpMV_CSC",
+                                 "Stencil_STAR", "Stencil_BOX"])
+@pytest.mark.parametrize("preset", ISRF_PRESETS)
+def test_sparse_bounds_fully_proven_without_suppressions(app, preset):
+    """The flip side of the mutations: on the *unmutated* apps every
+    indexed access is proven in bounds — zero errors, zero warnings,
+    and zero ``bounds-unproven`` notes (the clamp range guard gives the
+    interval domain exact bounds even for data-dependent indices)."""
+    report = check_app(app, all_configs()[preset])
+    assert not report.errors
+    assert not report.warnings
+    note_codes = {d.code for d in report.by_severity(Severity.INFO)}
+    assert "bounds-unproven" not in note_codes
+    assert "bounds-summary" in note_codes  # accesses were analyzed

@@ -142,3 +142,69 @@ class TestIndexEvaluator:
             return b.read(src, name="data")
         value = _evaluate(build)
         assert value.interval == Interval.top()
+
+
+class TestClampAlgebra:
+    """The min/max/clamp algebra (the sparse apps' range guard)."""
+
+    def test_interval_min_is_pointwise(self):
+        assert Interval(2, 10).min_(Interval(4, 6)) == Interval(2, 6)
+        assert Interval.top().min_(Interval(5, 5)) == Interval(None, 5)
+
+    def test_interval_max_is_pointwise(self):
+        assert Interval(2, 10).max_(Interval(4, 6)) == Interval(4, 10)
+        assert Interval.top().max_(Interval(0, 0)) == Interval(0, None)
+
+    def test_min_of_constants(self):
+        value = _evaluate(lambda b: b.min_(b.const(7), b.const(3)))
+        assert value.interval == Interval(3, 3)
+
+    def test_max_of_constants(self):
+        value = _evaluate(lambda b: b.max_(b.const(7), b.const(3)))
+        assert value.interval == Interval(7, 7)
+
+    def test_clamp_tames_a_data_dependent_index(self):
+        # The load-bearing property: a stream read is TOP, but
+        # clamp(TOP, 0, 15) is [0, 15] — provably in bounds.
+        def build(b):
+            src = b.istream("src")
+            raw = b.read(src, name="col")
+            return b.clamp(raw, b.const(0), b.const(15), name="guard")
+        value = _evaluate(build)
+        assert value.interval == Interval(0, 15)
+        assert not value.is_exact  # sound hull, no affine form
+
+    def test_clamp_is_identity_on_proven_ranges(self):
+        def build(b):
+            idx = b.mod(b.laneid(), b.const(8))
+            return b.clamp(idx, b.const(0), b.const(15))
+        value = _evaluate(build, lanes=8)
+        assert value.interval == Interval(0, 7)
+
+    def test_minmax_of_identical_affine_stays_exact(self):
+        def build(b):
+            lane = b.laneid()
+            return b.min_(lane, lane)
+        value = _evaluate(build, lanes=8)
+        assert value.is_exact
+        assert value.affine == AffineForm(0, c_lane=1)
+
+    def test_minmax_of_distinct_affine_drops_exactness(self):
+        def build(b):
+            return b.min_(b.laneid(), b.const(3))
+        value = _evaluate(build, lanes=8)
+        assert value.interval == Interval(0, 3)
+        assert not value.is_exact  # extremum is not affine in lane
+
+    def test_clamp_payload_semantics(self):
+        # The concrete payloads agree with the abstract story.
+        b = KernelBuilder("payload")
+        dst = b.ostream("dst")
+        clamped = b.clamp(b.const(99), b.const(0), b.const(15))
+        b.write(dst, clamped)
+        kernel = b.build()
+        ops = {op.name: op for op in kernel.ops}
+        assert ops["clamp_min"].algebra == "min"
+        assert ops["clamp_max"].algebra == "max"
+        assert ops["clamp_min"].payload is min
+        assert ops["clamp_max"].payload is max

@@ -35,11 +35,21 @@ WTAB_RECORDS = 16  # in-lane write table, records per lane
 
 #: Op vocabulary. Each drawn op is ``(tag, a, b, extra)`` with ``a``/
 #: ``b`` picking operands (mod the live-value count) and ``extra``
-#: parameterising the op.
+#: parameterising the op. ``clamp`` lowers to the min/max algebra the
+#: sparse apps use as a range guard; ``gather`` is their whole access
+#: idiom (validity predicate + clamped in-lane indexed read) in one op.
 TAGS = (
     "add", "sub", "mul", "xor", "mod", "select", "opaque", "float",
     "bigconst", "div", "pred", "lut", "lut_pred", "xlut", "wtab",
-    "wtab_pred", "comm",
+    "wtab_pred", "comm", "clamp", "gather",
+)
+
+#: Sparse index distributions (ISSUE 10): the shapes CSR column-index
+#: streams actually take. ``empty_rows`` interleaves ``-1`` sentinel
+#: runs — padding slots of rows with no nonzeros — which only a
+#: predicated gather may skip.
+SPARSE_DISTRIBUTIONS = (
+    "sorted", "uniform", "clustered", "duplicate", "empty_rows",
 )
 
 _ops = st.lists(
@@ -66,6 +76,55 @@ def kernel_specs(draw, max_iterations=80):
     }
 
 
+@st.composite
+def sparse_kernel_specs(draw, max_iterations=80):
+    """A spec whose input stream is a sparse CSR-shaped index stream.
+
+    The input words are drawn from one of the
+    :data:`SPARSE_DISTRIBUTIONS` instead of uniform noise, and the op
+    list always ends with a ``gather`` consuming the raw index stream —
+    so every example drives the indexed SRF with exactly the index
+    locality patterns the sparse apps produce, on top of whatever other
+    random ops the base strategy drew.
+    """
+    spec = draw(kernel_specs(max_iterations=max_iterations))
+    spec["index_distribution"] = draw(st.sampled_from(SPARSE_DISTRIBUTIONS))
+    # Operand pick 0 is always the input-stream read (see build_kernel).
+    spec["ops"] = list(spec["ops"]) + [
+        ("gather", 0, 0, draw(st.integers(min_value=0, max_value=6))),
+    ]
+    return spec
+
+
+def sparse_lane_indices(rng, count, records, distribution):
+    """One lane's index stream under one sparse distribution."""
+    if distribution == "sorted":
+        return sorted(rng.randrange(records) for _ in range(count))
+    if distribution == "uniform":
+        return [rng.randrange(records) for _ in range(count)]
+    if distribution == "clustered":
+        # Power-law concentration: most indices hit a few records.
+        return [int(records * rng.random() ** 4) for _ in range(count)]
+    if distribution == "duplicate":
+        pool = [rng.randrange(records)
+                for _ in range(max(1, records // 8))]
+        return [rng.choice(pool) for _ in range(count)]
+    if distribution == "empty_rows":
+        # CSR rows of 0-3 sorted entries; empty rows surface as -1
+        # sentinel padding the gather predicate must mask off.
+        indices = []
+        while len(indices) < count:
+            row_nnz = rng.randrange(4)
+            if row_nnz == 0:
+                indices.append(-1)
+            else:
+                indices.extend(sorted(
+                    rng.randrange(records) for _ in range(row_nnz)
+                ))
+        return indices[:count]
+    raise AssertionError(distribution)
+
+
 # Deliberately opaque payloads (no ``algebra`` tag): the engines must
 # evaluate these by calling them.
 def _wrap_int(x):
@@ -84,6 +143,10 @@ def _divisor(x):
     return (int(x) % 13) + 1
 
 
+def _nonneg(x):
+    return x >= 0
+
+
 def build_kernel(spec):
     """Build the kernel a spec describes; returns (kernel, streams)."""
     used = {tag for tag, _a, _b, _extra in spec["ops"]}
@@ -91,7 +154,7 @@ def build_kernel(spec):
     in_s = b.istream("in")
     out_s = b.ostream("out")
     lut = (b.idxl_istream("lut")
-           if used & {"lut", "lut_pred"} else None)
+           if used & {"lut", "lut_pred", "gather"} else None)
     xlut = b.idx_istream("xlut") if "xlut" in used else None
     wtab = (b.idxl_ostream("wtab")
             if used & {"wtab", "wtab_pred"} else None)
@@ -147,6 +210,16 @@ def build_kernel(spec):
             p = (pred if tag == "wtab_pred" and pred is not None
                  else None)
             b.idx_write(wtab, idx, b.logic(_wrap_int, c), predicate=p)
+        elif tag == "clamp":
+            values.append(b.clamp(a, b.const(-extra),
+                                  b.const(extra * 7 + 1)))
+        elif tag == "gather":
+            # The sparse apps' access idiom end to end: sentinel
+            # predicate + clamped index + predicated in-lane read.
+            valid = b.logic(_nonneg, a)
+            idx = b.clamp(b.logic(_as_int, a), b.const(0),
+                          b.const(LUT_RECORDS - 1))
+            values.append(b.idx_read(lut, idx, predicate=valid))
         elif tag == "comm":
             values.append(b.comm(a, b.mod(c, b.const(LANES))))
         else:  # pragma: no cover - exhaustive over TAGS
@@ -165,11 +238,20 @@ def program_data(spec):
     """Deterministic input/table data for a spec's kernel."""
     rng = pyrandom.Random(spec["data_seed"])
     iterations = spec["iterations"]
-    return {
-        "inputs": [
+    distribution = spec.get("index_distribution")
+    if distribution:
+        inputs = [
+            sparse_lane_indices(rng, iterations, LUT_RECORDS,
+                                distribution)
+            for _ in range(LANES)
+        ]
+    else:
+        inputs = [
             [rng.randrange(-MOD, MOD) for _ in range(iterations)]
             for _ in range(LANES)
-        ],
+        ]
+    return {
+        "inputs": inputs,
         "lut": [rng.randrange(MOD) for _ in range(LUT_RECORDS)],
         "xlut": [rng.randrange(MOD) for _ in range(XLUT_RECORDS)],
         "wtab": [

@@ -29,7 +29,7 @@ from repro.memory import load_op, store_op
 from tests.fuzz.strategies import (
     FUZZ_EXAMPLES, LANES, LUT_RECORDS, WTAB_RECORDS, XLUT_RECORDS,
     assert_same_typed, build_kernel, kernel_specs, make_context,
-    program_data,
+    program_data, sparse_kernel_specs,
 )
 from tests.machine.test_golden_stats import fingerprint
 
@@ -132,9 +132,7 @@ def _run_on_machine(spec, kernel, streams, backend):
     return outputs, tables, stats
 
 
-@settings(max_examples=FUZZ_EXAMPLES)
-@given(spec=kernel_specs(max_iterations=6))
-def test_three_way_agreement(spec):
+def _assert_three_way(spec):
     """Reference interpreter, scalar machine and vector machine agree."""
     # Sequential machine streams transfer whole SRF access groups, so
     # round the extent to a multiple of four iterations per lane.
@@ -155,6 +153,22 @@ def test_three_way_agreement(spec):
         assert scalar[1] == reference_tables
         assert vector[1] == reference_tables
     assert fingerprint(scalar[2]) == fingerprint(vector[2])
+
+
+@settings(max_examples=FUZZ_EXAMPLES)
+@given(spec=kernel_specs(max_iterations=6))
+def test_three_way_agreement(spec):
+    _assert_three_way(spec)
+
+
+@settings(max_examples=FUZZ_EXAMPLES)
+@given(spec=sparse_kernel_specs(max_iterations=6))
+def test_three_way_agreement_sparse(spec):
+    """Same three-way agreement, with CSR-shaped index streams (sorted,
+    uniform, power-law clustered, duplicate-heavy, empty-row sentinel
+    runs) driving a predicated clamped gather — the sparse apps' access
+    idiom under every index locality the suite sweeps."""
+    _assert_three_way(spec)
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,7 @@ from repro.memory import load_op, store_op
 from tests.fuzz.strategies import (
     FUZZ_EXAMPLES, LANES, LUT_RECORDS, WTAB_RECORDS, XLUT_RECORDS,
     build_kernel, kernel_specs, make_context, program_data,
+    sparse_kernel_specs,
 )
 
 
@@ -73,9 +74,7 @@ def _run_on_engine(spec, kernel, streams, config):
     return proc.engine, outputs, tables, dataclasses.asdict(stats)
 
 
-@settings(max_examples=FUZZ_EXAMPLES)
-@given(spec=kernel_specs(max_iterations=6))
-def test_timing_engines_agree(spec):
+def _assert_engines_agree(spec):
     """Columnar vs object on a random program: everything identical —
     and the reference interpreter agrees on the outputs, so the two
     engines cannot be identically wrong about the data."""
@@ -96,6 +95,21 @@ def test_timing_engines_agree(spec):
     assert col[1] == expected
     assert obj[2] == col[2]
     assert obj[3] == col[3]
+
+
+@settings(max_examples=FUZZ_EXAMPLES)
+@given(spec=kernel_specs(max_iterations=6))
+def test_timing_engines_agree(spec):
+    _assert_engines_agree(spec)
+
+
+@settings(max_examples=FUZZ_EXAMPLES)
+@given(spec=sparse_kernel_specs(max_iterations=6))
+def test_timing_engines_agree_sparse(spec):
+    """Engine agreement under CSR-shaped index streams: every sparse
+    index distribution (including empty-row sentinels masked by the
+    gather predicate) times identically on both engines."""
+    _assert_engines_agree(spec)
 
 
 #: Boundary overlays that must force the columnar request back onto the

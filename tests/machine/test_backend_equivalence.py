@@ -11,7 +11,7 @@ import os
 
 import pytest
 
-from repro.apps import fft, filter2d, igraph, rijndael, sort
+from repro.apps import fft, filter2d, igraph, rijndael, sort, spmv, stencil
 from repro.config.machine import MachineConfig
 from repro.config.presets import BACKEND_ENV, all_configs, base_config
 from repro.errors import ConfigurationError
@@ -23,7 +23,8 @@ PRESETS = ("Base", "ISRF1", "ISRF4", "Cache")
 
 #: Small-but-real workloads: every kernel family (FFT butterflies,
 #: Rijndael carry chains, sort merge networks, filter rows, all four
-#: Table 4 index-distribution datasets) at CI-friendly sizes.
+#: Table 4 index-distribution datasets, sparse gather/scatter and
+#: banded stencils) at CI-friendly sizes.
 RUNNERS = {
     "fft": lambda cfg: fft.run(cfg, n=16),
     "rijndael": lambda cfg: rijndael.run(cfg, blocks_per_lane=2),
@@ -37,6 +38,12 @@ RUNNERS = {
                                      strips_to_run=2),
     "ig_scl": lambda cfg: igraph.run(cfg, dataset="IG_SCL", nodes=128,
                                      strips_to_run=2),
+    "spmv_csr": lambda cfg: spmv.run(cfg, fmt="csr", rows=64, cols=64,
+                                     strips_to_run=2),
+    "spmv_csc": lambda cfg: spmv.run(cfg, fmt="csc", rows=64, cols=64,
+                                     strips_to_run=2),
+    "stencil_star": lambda cfg: stencil.run(cfg, pattern="star"),
+    "stencil_box": lambda cfg: stencil.run(cfg, pattern="box"),
 }
 
 

@@ -66,6 +66,17 @@ class TestAppsVerifyOnEveryPreset:
         igraph.run(config, dataset=dataset, nodes=128,
                    strips_to_run=2).require_verified()
 
+    @pytest.mark.parametrize("fmt", ["csr", "csc"])
+    def test_spmv(self, config, fmt):
+        from repro.apps import spmv
+        spmv.run(config, fmt=fmt, rows=64, cols=64,
+                 strips_to_run=2).require_verified()
+
+    @pytest.mark.parametrize("pattern", ["star", "box"])
+    def test_stencil(self, config, pattern):
+        from repro.apps import stencil
+        stencil.run(config, pattern=pattern).require_verified()
+
 
 def run_differential(config, seed, ops_count, use_carry, lookups):
     """One random kernel through the interpreter and the machine."""

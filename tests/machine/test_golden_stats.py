@@ -1,11 +1,14 @@
-"""Golden-stats regression test: tier-1 timing pinned per preset.
+"""Golden-stats regression test: tier-1 timing pinned per app x preset.
 
-``golden_stats.json`` snapshots the FFT 2D (n=16) ``ProgramStats`` for
-all four Table 2 presets. Any change to cycle-level behaviour —
-intentional or not — shows up as a diff against the fixture. It doubles
-as the enforcement of the observability layer's zero-overhead contract:
-running with tracing, metrics, and the profiler all enabled must
-reproduce the fixture bit-for-bit.
+``golden_stats.json`` snapshots the ``ProgramStats`` fingerprint of a
+small workload per application family — FFT 2D (n=16) plus the sparse
+suite (SpMV CSR/CSC and both stencils) — for all four Table 2 presets.
+Any change to cycle-level behaviour — intentional or not — shows up as
+a diff against the fixture. It doubles as the enforcement of the
+observability layer's zero-overhead contract: running with tracing,
+metrics, and the profiler all enabled must reproduce the fixture
+bit-for-bit, as must every pure simulation-speed knob (vector backend,
+columnar engine, fast-forward).
 
 Regenerate deliberately after an intentional timing change:
 
@@ -17,12 +20,26 @@ import os
 
 import pytest
 
-from repro.apps import fft
+from repro.apps import fft, spmv, stencil
 from repro.config.presets import all_configs
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_stats.json")
 
 FFT_N = 16
+
+#: App name -> small pinned workload. Sizes are frozen with the fixture:
+#: changing one is a fixture regeneration, never a silent drift.
+APPS = {
+    "FFT 2D": lambda cfg: fft.run(cfg, n=FFT_N),
+    "SpMV_CSR": lambda cfg: spmv.run(cfg, fmt="csr", rows=64, cols=64,
+                                     strips_to_run=2),
+    "SpMV_CSC": lambda cfg: spmv.run(cfg, fmt="csc", rows=64, cols=64,
+                                     strips_to_run=2),
+    "Stencil_STAR": lambda cfg: stencil.run(cfg, pattern="star"),
+    "Stencil_BOX": lambda cfg: stencil.run(cfg, pattern="box"),
+}
+
+PRESETS = ("Base", "ISRF1", "ISRF4", "Cache")
 
 
 def fingerprint(stats) -> dict:
@@ -53,13 +70,13 @@ def fingerprint(stats) -> dict:
     }
 
 
-def capture(**overrides) -> dict:
+def capture() -> dict:
     out = {}
-    for name, config in all_configs().items():
-        if overrides:
-            config = config.replace(**overrides)
-        result = fft.run(config, n=FFT_N).require_verified()
-        out[name] = fingerprint(result.stats)
+    for app, runner in APPS.items():
+        out[app] = {}
+        for name, config in all_configs().items():
+            result = runner(config).require_verified()
+            out[app][name] = fingerprint(result.stats)
     return out
 
 
@@ -69,70 +86,74 @@ def golden():
         return json.load(handle)
 
 
-@pytest.mark.parametrize("preset", ["Base", "ISRF1", "ISRF4", "Cache"])
+@pytest.mark.parametrize("preset", PRESETS)
+@pytest.mark.parametrize("app", sorted(APPS))
 class TestGoldenStats:
-    def test_matches_fixture(self, golden, preset):
+    def test_matches_fixture(self, golden, app, preset):
         config = all_configs()[preset]
-        result = fft.run(config, n=FFT_N).require_verified()
-        assert fingerprint(result.stats) == golden[preset]
+        result = APPS[app](config).require_verified()
+        assert fingerprint(result.stats) == golden[app][preset]
 
-    def test_observability_is_inert(self, golden, preset):
+    def test_observability_is_inert(self, golden, app, preset):
         """Trace + metrics + profiler on must not move a single cycle."""
         config = all_configs()[preset].replace(
             trace=True, metrics_level=2, profile_sample_period=64,
         )
-        result = fft.run(config, n=FFT_N).require_verified()
-        assert fingerprint(result.stats) == golden[preset]
+        result = APPS[app](config).require_verified()
+        assert fingerprint(result.stats) == golden[app][preset]
 
-    def test_sanitizer_is_inert(self, golden, preset):
+    def test_sanitizer_is_inert(self, golden, app, preset):
         """Per-cycle invariant checks must not move a single cycle."""
         config = all_configs()[preset].replace(sanitize=True)
-        result = fft.run(config, n=FFT_N).require_verified()
-        assert fingerprint(result.stats) == golden[preset]
+        result = APPS[app](config).require_verified()
+        assert fingerprint(result.stats) == golden[app][preset]
 
-    def test_vector_backend_is_inert(self, golden, preset):
+    def test_vector_backend_is_inert(self, golden, app, preset):
         """The vector execution backend is a pure simulation-speed knob:
         it must reproduce the *scalar-generated* fixture bit-for-bit,
         not merely be self-consistent."""
         config = all_configs()[preset].replace(backend="vector")
-        result = fft.run(config, n=FFT_N).require_verified()
-        assert fingerprint(result.stats) == golden[preset]
+        result = APPS[app](config).require_verified()
+        assert fingerprint(result.stats) == golden[app][preset]
 
-    def test_columnar_engine_is_inert(self, golden, preset):
+    def test_columnar_engine_is_inert(self, golden, app, preset):
         """The columnar timing engine is a pure simulation-speed knob:
         it must reproduce the *object-engine-generated* fixture
         bit-for-bit, not merely be self-consistent."""
         config = all_configs()[preset].replace(timing_engine="columnar")
-        result = fft.run(config, n=FFT_N).require_verified()
-        assert fingerprint(result.stats) == golden[preset]
+        result = APPS[app](config).require_verified()
+        assert fingerprint(result.stats) == golden[app][preset]
 
     def test_columnar_engine_with_vector_backend_is_inert(self, golden,
-                                                          preset):
+                                                          app, preset):
         """Both speed knobs together still pin the fixture: drain
         windows charge exactly what per-cycle stepping would."""
         config = all_configs()[preset].replace(
             timing_engine="columnar", backend="vector"
         )
-        result = fft.run(config, n=FFT_N).require_verified()
-        assert fingerprint(result.stats) == golden[preset]
+        result = APPS[app](config).require_verified()
+        assert fingerprint(result.stats) == golden[app][preset]
 
     def test_vector_backend_with_observability_is_inert(self, golden,
-                                                        preset):
+                                                        app, preset):
         """Steady-state fast-forward windows charge the profiler and
         metrics exactly like per-cycle ticking does."""
         config = all_configs()[preset].replace(
             backend="vector", trace=True, metrics_level=2,
             profile_sample_period=64,
         )
-        result = fft.run(config, n=FFT_N).require_verified()
-        assert fingerprint(result.stats) == golden[preset]
+        result = APPS[app](config).require_verified()
+        assert fingerprint(result.stats) == golden[app][preset]
 
 
-def test_fast_forward_off_matches_fixture(golden):
-    """The cycle-loop fast path must be an exact shortcut (spot check)."""
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_fast_forward_off_matches_fixture(golden, app):
+    """The cycle-loop fast path must be an exact shortcut, for every
+    app family (the sparse kernels stress its steady-state windows with
+    indexed-FIFO occupancy the FFT never reaches)."""
     config = all_configs()["ISRF4"].replace(fast_forward=False)
-    result = fft.run(config, n=FFT_N).require_verified()
-    assert fingerprint(result.stats) == golden["ISRF4"]
+    result = APPS[app](config).require_verified()
+    assert fingerprint(result.stats) == golden[app]["ISRF4"]
 
 
 if __name__ == "__main__":
